@@ -1,0 +1,44 @@
+GO ?= go
+
+.PHONY: all build vet test bench cover figures figures-quick report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Per-figure benchmark harness (also reports the reproduced metrics).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure (tables + ASCII charts + CSV under results/).
+figures:
+	$(GO) run ./cmd/figures -scale standard -out results
+
+figures-quick:
+	$(GO) run ./cmd/figures -scale quick
+
+report:
+	$(GO) run ./cmd/report
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/treeviz
+	$(GO) run ./examples/hetero
+	$(GO) run ./examples/hypercube
+	$(GO) run ./examples/varlen
+	$(GO) run ./examples/deadlock
+	$(GO) run ./examples/staticcomm
+	$(GO) run ./examples/delaybudget
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,374 @@
+// Benchmarks regenerating every figure of the paper's evaluation section,
+// plus the ablations called out in DESIGN.md. Each benchmark runs the
+// figure's workload at a representative operating point and reports the
+// figure's metric via b.ReportMetric (delay in slots, utilization as a
+// fraction), so `go test -bench=. -benchmem` both exercises the full system
+// and prints the reproduced numbers. The full rho sweeps behind the figures
+// are produced by `go run ./cmd/figures`.
+package prioritystar
+
+import (
+	"testing"
+)
+
+// benchMetric selects what a figure benchmark reports from a run.
+type benchMetric int
+
+const (
+	benchReception benchMetric = iota
+	benchBroadcast
+	benchUnicast
+	benchMaxDimUtil
+)
+
+func (m benchMetric) read(r *SimResult) float64 {
+	switch m {
+	case benchBroadcast:
+		return r.Broadcast.Mean()
+	case benchUnicast:
+		return r.Unicast.Mean()
+	case benchMaxDimUtil:
+		return r.MaxDimUtilization
+	default:
+		return r.Reception.Mean()
+	}
+}
+
+func (m benchMetric) unit() string {
+	switch m {
+	case benchBroadcast:
+		return "bcast-delay-slots"
+	case benchUnicast:
+		return "unicast-delay-slots"
+	case benchMaxDimUtil:
+		return "max-dim-util"
+	default:
+		return "recv-delay-slots"
+	}
+}
+
+// benchRun executes one simulation per iteration and reports the average of
+// the figure metric across iterations.
+func benchRun(b *testing.B, dims []int, spec SchemeSpec, rho, frac float64,
+	length LengthDist, metric benchMetric) {
+	b.Helper()
+	shape, err := NewTorus(dims...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := RatesForRho(shape, rho, frac, length.Mean(), ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := spec.Build(shape, rates, ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(SimConfig{
+			Shape: shape, Scheme: scheme, Rates: rates, Length: length,
+			Seed:   uint64(i + 1),
+			Warmup: 600, Measure: 2500, Drain: 1200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum += metric.read(res)
+	}
+	b.ReportMetric(sum/float64(b.N), metric.unit())
+}
+
+// benchFigure runs a two-scheme figure comparison as sub-benchmarks.
+func benchFigure(b *testing.B, dims []int, rho float64, metric benchMetric) {
+	b.Run("prioritySTAR", func(b *testing.B) {
+		benchRun(b, dims, PrioritySTARSpec, rho, 1, LengthDist{}, metric)
+	})
+	b.Run("FCFSdirect", func(b *testing.B) {
+		benchRun(b, dims, FCFSDirectSpec, rho, 1, LengthDist{}, metric)
+	})
+}
+
+// --- Fig. 1: STAR tree construction --------------------------------------
+
+// BenchmarkTreeConstruction measures enumerating the full priority STAR
+// spanning tree of a 16x16 torus (Fig. 1's object, scaled up).
+func BenchmarkTreeConstruction(b *testing.B) {
+	shape, err := NewTorus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, _ := RatesForRho(shape, 0.5, 1, 1, ExactDistance)
+	scheme, err := PrioritySTAR(shape, rates, ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := BroadcastTree(scheme, Node(i%shape.Size()), i%2)
+		if len(tree) != shape.Size() {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+// --- Figs. 2-7: broadcast-only delay curves ------------------------------
+
+// BenchmarkFig2ReceptionDelay8x8 reproduces Fig. 2's high-load regime.
+func BenchmarkFig2ReceptionDelay8x8(b *testing.B) {
+	benchFigure(b, []int{8, 8}, 0.8, benchReception)
+}
+
+// BenchmarkFig3ReceptionDelay16x16 reproduces Fig. 3.
+func BenchmarkFig3ReceptionDelay16x16(b *testing.B) {
+	benchFigure(b, []int{16, 16}, 0.8, benchReception)
+}
+
+// BenchmarkFig4ReceptionDelay8x8x8 reproduces Fig. 4 (the gap grows with d).
+func BenchmarkFig4ReceptionDelay8x8x8(b *testing.B) {
+	benchFigure(b, []int{8, 8, 8}, 0.8, benchReception)
+}
+
+// BenchmarkFig5BroadcastDelay8x8 reproduces Fig. 5.
+func BenchmarkFig5BroadcastDelay8x8(b *testing.B) {
+	benchFigure(b, []int{8, 8}, 0.8, benchBroadcast)
+}
+
+// BenchmarkFig6BroadcastDelay16x16 reproduces Fig. 6.
+func BenchmarkFig6BroadcastDelay16x16(b *testing.B) {
+	benchFigure(b, []int{16, 16}, 0.8, benchBroadcast)
+}
+
+// BenchmarkFig7BroadcastDelay8x8x8 reproduces Fig. 7.
+func BenchmarkFig7BroadcastDelay8x8x8(b *testing.B) {
+	benchFigure(b, []int{8, 8, 8}, 0.8, benchBroadcast)
+}
+
+// --- Fig. 8 / Section 4: heterogeneous communications --------------------
+
+// BenchmarkFig8HeteroBalanced compares joint (Eq. 4) and separate (Eq. 2)
+// balancing on the asymmetric 4x4x8 torus at 85% load with a 50/50 traffic
+// split; the reported max-dim-util shows the separate scheme's long
+// dimension saturating (>= 1) while the joint scheme stays at rho.
+func BenchmarkFig8HeteroBalanced(b *testing.B) {
+	b.Run("joint", func(b *testing.B) {
+		benchRun(b, []int{4, 4, 8}, PrioritySTARSpec, 0.85, 0.5, LengthDist{}, benchMaxDimUtil)
+	})
+	b.Run("separate", func(b *testing.B) {
+		benchRun(b, []int{4, 4, 8}, SeparateSpec, 0.85, 0.5, LengthDist{}, benchMaxDimUtil)
+	})
+}
+
+// BenchmarkFig8HeteroUnicastDelay shows Section 4's O(d) unicast delay:
+// prioritized unicast stays near the uncontended distance while FCFS grows
+// with 1/(1-rho).
+func BenchmarkFig8HeteroUnicastDelay(b *testing.B) {
+	for _, spec := range []SchemeSpec{PrioritySTAR3Spec, PrioritySTARSpec, FCFSDirectSpec} {
+		b.Run(spec.Name, func(b *testing.B) {
+			benchRun(b, []int{8, 8}, spec, 0.85, 0.5, LengthDist{}, benchUnicast)
+		})
+	}
+}
+
+// BenchmarkFig8ConcurrentTasks measures the number of simultaneously active
+// broadcast tasks via Little's law (Fig. 8's caption quantities).
+func BenchmarkFig8ConcurrentTasks(b *testing.B) {
+	shape, err := NewTorus(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates, err := RatesForRho(shape, 0.8, 0.5, 1, ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := PrioritySTAR3(shape, rates, ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bSum, uSum := 0.0, 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(SimConfig{
+			Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
+			Warmup: 600, Measure: 2500, Drain: 1200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bSum += rates.LambdaB * float64(shape.Size()) * res.Broadcast.Mean()
+		uSum += rates.LambdaR * float64(shape.Size()) * res.Unicast.Mean()
+	}
+	b.ReportMetric(bSum/float64(b.N), "bcast-tasks-in-flight")
+	b.ReportMetric(uSum/float64(b.N), "unicast-tasks-in-flight")
+}
+
+// --- Ablations (DESIGN.md A1-A5) ------------------------------------------
+
+// BenchmarkAblationSchemeMatrix isolates rotation and priority on the
+// asymmetric 4x8 torus (A1).
+func BenchmarkAblationSchemeMatrix(b *testing.B) {
+	specs := []SchemeSpec{
+		PrioritySTARSpec, FCFSDirectSpec,
+		{Name: "uniform-prio", Discipline: TwoLevel, Rotation: UniformRotation},
+		{Name: "uniform-FCFS", Discipline: FCFS, Rotation: UniformRotation},
+		{Name: "dim-order-prio", Discipline: TwoLevel, Rotation: FixedEnding},
+		DimOrderSpec,
+	}
+	for _, spec := range specs {
+		b.Run(spec.Name, func(b *testing.B) {
+			benchRun(b, []int{4, 8}, spec, 0.7, 1, LengthDist{}, benchReception)
+		})
+	}
+}
+
+// BenchmarkAblationVariableLength checks the Section 3.2 variable-length
+// claim with geometric lengths of mean 4 (A2).
+func BenchmarkAblationVariableLength(b *testing.B) {
+	length := GeometricLength(4)
+	b.Run("prioritySTAR", func(b *testing.B) {
+		benchRun(b, []int{8, 8}, PrioritySTARSpec, 0.7, 1, length, benchReception)
+	})
+	b.Run("FCFSdirect", func(b *testing.B) {
+		benchRun(b, []int{8, 8}, FCFSDirectSpec, 0.7, 1, length, benchReception)
+	})
+}
+
+// BenchmarkAblationHypercube runs the 2-ary 8-cube (binary hypercube)
+// special case (A3).
+func BenchmarkAblationHypercube(b *testing.B) {
+	dims := []int{2, 2, 2, 2, 2, 2, 2, 2}
+	b.Run("prioritySTAR", func(b *testing.B) {
+		benchRun(b, dims, PrioritySTARSpec, 0.8, 1, LengthDist{}, benchReception)
+	})
+	b.Run("FCFSdirect", func(b *testing.B) {
+		benchRun(b, dims, FCFSDirectSpec, 0.8, 1, LengthDist{}, benchReception)
+	})
+}
+
+// BenchmarkAblationInfeasibleClamp exercises the Section 4 infeasibility
+// fallback: on a 4x32 torus dominated by unicast traffic the Eq. 4 solution
+// leaves the simplex and is clamped to (1, 0) (A4).
+func BenchmarkAblationInfeasibleClamp(b *testing.B) {
+	benchRun(b, []int{4, 32}, PrioritySTARSpec, 0.7, 0.1, LengthDist{}, benchMaxDimUtil)
+}
+
+// BenchmarkAblationDistanceModel compares balancing with the paper's
+// floor(n/4) distances against exact expectations on 4x4x8 (A5). The floor
+// model's residual imbalance shows up as a higher max dimension utilization.
+func BenchmarkAblationDistanceModel(b *testing.B) {
+	run := func(b *testing.B, model DistanceModel) {
+		shape, err := NewTorus(4, 4, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rates, err := RatesForRho(shape, 0.85, 0.5, 1, ExactDistance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scheme, err := PrioritySTAR(shape, rates, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := Simulate(SimConfig{
+				Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
+				Warmup: 600, Measure: 2500, Drain: 1200,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += res.MaxDimUtilization
+		}
+		b.ReportMetric(sum/float64(b.N), "max-dim-util")
+	}
+	b.Run("exact", func(b *testing.B) { run(b, ExactDistance) })
+	b.Run("paper-floor", func(b *testing.B) { run(b, PaperFloorDistance) })
+}
+
+// BenchmarkDelayCappedThroughput reproduces the Section 3.2 delay-budget
+// comparison (A6): under a reception-delay cap, priority STAR sustains
+// strictly higher throughput than FCFS.
+func BenchmarkDelayCappedThroughput(b *testing.B) {
+	for _, spec := range []SchemeSpec{PrioritySTARSpec, FCFSDirectSpec} {
+		b.Run(spec.Name, func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				rho, err := DelayCappedThroughput([]int{8, 8}, spec, 1, ExactDistance,
+					CapReception, 6.5, 2000, uint64(i+1), 0.2, 1.0, 0.05)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += rho
+			}
+			b.ReportMetric(sum/float64(b.N), "capped-max-rho")
+		})
+	}
+}
+
+// BenchmarkStaticTasks measures the static communication tasks of the
+// paper's introduction (single broadcast, MNB, total exchange) on an 8x8
+// torus, reporting makespan efficiency against the classical bounds.
+func BenchmarkStaticTasks(b *testing.B) {
+	shape, err := NewTorus(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme, err := PrioritySTAR(shape, Rates{LambdaB: 1}, ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, task := range []StaticTask{SingleBroadcast, MultinodeBroadcast, TotalExchange} {
+		b.Run(task.String(), func(b *testing.B) {
+			sum := 0.0
+			for i := 0; i < b.N; i++ {
+				res, err := RunStatic(shape, scheme, task, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Efficiency
+			}
+			b.ReportMetric(sum/float64(b.N), "efficiency")
+		})
+	}
+}
+
+// BenchmarkFiniteBufferVC measures the finite-buffer engine with the
+// paper's 2-VC dateline configuration under sustained load.
+func BenchmarkFiniteBufferVC(b *testing.B) {
+	shape, err := NewTorus(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateFinite(FiniteConfig{
+			Shape: shape, VCs: 2, Capacity: 2, LambdaR: 0.2,
+			Seed: uint64(i + 1), Slots: 5000, StopInjection: 4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Deadlocked {
+			b.Fatal("2-VC run deadlocked")
+		}
+		delivered += res.Delivered
+	}
+	b.ReportMetric(float64(delivered)/float64(b.N), "packets-delivered")
+}
+
+// BenchmarkStabilitySearch measures the bisection-based maximum-stable-rho
+// estimator used by the Section 1 throughput comparisons.
+func BenchmarkStabilitySearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rho, err := StabilitySearch([]int{4, 8}, PrioritySTARSpec, 1, ExactDistance,
+			1500, 1, uint64(i+1), 0.6, 1.1, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rho, "max-stable-rho")
+	}
+}

@@ -1,0 +1,89 @@
+// Command balance prints the STAR ending-dimension probability vector for a
+// torus and traffic mix (the paper's Eq. 2 / Eq. 4), the predicted
+// per-dimension link utilizations, and the resulting maximum throughput
+// factor.
+//
+//	balance -shape 4x4x8
+//	balance -shape 4x4x8 -lambdaB 0.01 -lambdaR 0.3
+//	balance -shape 4x4x8 -frac 0.5 -rho 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prioritystar"
+	"prioritystar/internal/cli"
+)
+
+func main() {
+	var (
+		shapeFlag = flag.String("shape", "4x4x8", "torus shape, e.g. 4x4x8")
+		lambdaB   = flag.Float64("lambdaB", 0, "broadcast tasks per node per slot")
+		lambdaR   = flag.Float64("lambdaR", 0, "unicast tasks per node per slot")
+		rhoFlag   = flag.Float64("rho", 0, "derive rates from a throughput factor (with -frac)")
+		fracFlag  = flag.Float64("frac", 1, "broadcast fraction of the load when using -rho")
+		floorFlag = flag.Bool("floor", false, "use the paper's floor(n/4) distance model")
+	)
+	flag.Parse()
+	if err := run(*shapeFlag, *lambdaB, *lambdaR, *rhoFlag, *fracFlag, *floorFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "balance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shapeStr string, lambdaB, lambdaR, rho, frac float64, floor bool) error {
+	dims, err := cli.ParseShape(shapeStr)
+	if err != nil {
+		return err
+	}
+	shape, err := prioritystar.NewTorus(dims...)
+	if err != nil {
+		return err
+	}
+	model := prioritystar.ExactDistance
+	if floor {
+		model = prioritystar.PaperFloorDistance
+	}
+	if rho > 0 {
+		rates, err := prioritystar.RatesForRho(shape, rho, frac, 1, model)
+		if err != nil {
+			return err
+		}
+		lambdaB, lambdaR = rates.LambdaB, rates.LambdaR
+	}
+	if lambdaB == 0 && lambdaR == 0 {
+		lambdaB = 1 // broadcast-only Eq. 2 by default
+	}
+	v, err := prioritystar.BalanceHeterogeneous(shape, lambdaB, lambdaR, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shape:        %s (N=%d, degree=%d, diameter=%d)\n",
+		shape, shape.Size(), shape.Degree(), shape.Diameter())
+	fmt.Printf("rates:        lambdaB=%.6g lambdaR=%.6g (model: %s)\n",
+		lambdaB, lambdaR, modelName(floor))
+	fmt.Printf("feasible:     %v\n", v.Feasible)
+	for i, x := range v.X {
+		fmt.Printf("  x[%d] (ending dim %d, n=%d): %.6f\n", i, i, shape.Dim(i), x)
+	}
+	fmt.Printf("max throughput with this vector:    %.4f\n",
+		prioritystar.MaxThroughput(shape, v.X, lambdaB, lambdaR, model))
+	if lambdaR > 0 {
+		sep, err := prioritystar.BalanceBroadcastOnly(shape)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("max throughput if balanced separately (Eq. 2 only): %.4f\n",
+			prioritystar.MaxThroughput(shape, sep.X, lambdaB, lambdaR, model))
+	}
+	return nil
+}
+
+func modelName(floor bool) string {
+	if floor {
+		return "paper floor(n/4)"
+	}
+	return "exact"
+}

@@ -1,0 +1,154 @@
+// Command report reproduces the auxiliary (non-figure) experiments of
+// EXPERIMENTS.md in one run: the static communication tasks, the
+// finite-buffer virtual-channel deadlock study, the delay-capped and
+// maximum-stable throughput searches, and the queueing-model validation.
+//
+//	report            # everything
+//	report -only static|deadlock|capped|queueing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"prioritystar"
+	"prioritystar/internal/analysis"
+	"prioritystar/internal/mdqueue"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single section: static, deadlock, capped, queueing")
+	flag.Parse()
+	sections := map[string]func() error{
+		"static":   staticSection,
+		"deadlock": deadlockSection,
+		"capped":   cappedSection,
+		"queueing": queueingSection,
+	}
+	order := []string{"static", "deadlock", "capped", "queueing"}
+	if *only != "" {
+		fn, ok := sections[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "report: unknown section %q\n", *only)
+			os.Exit(1)
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range order {
+		if err := sections[name](); err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func staticSection() error {
+	fmt.Println("=== static communication tasks (paper Section 1) ===")
+	for _, dims := range [][]int{{8, 8}, {4, 8}, {4, 4, 4}} {
+		shape, err := prioritystar.NewTorus(dims...)
+		if err != nil {
+			return err
+		}
+		scheme, err := prioritystar.PrioritySTAR(shape, prioritystar.Rates{LambdaB: 1}, prioritystar.ExactDistance)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n", shape)
+		for _, task := range []prioritystar.StaticTask{
+			prioritystar.SingleBroadcast, prioritystar.MultinodeBroadcast, prioritystar.TotalExchange,
+		} {
+			res, err := prioritystar.RunStatic(shape, scheme, task, 21)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-20s makespan %5d   bound %5d   efficiency %.2f\n",
+				res.Task, res.Makespan, res.LowerBound, res.Efficiency)
+		}
+	}
+	return nil
+}
+
+func deadlockSection() error {
+	fmt.Println("=== finite buffers and virtual channels (paper Section 3.1) ===")
+	fmt.Printf("%8s %6s %10s %12s %12s %10s\n", "shape", "VCs", "capacity", "injected", "delivered", "deadlock")
+	for _, dims := range [][]int{{6}, {6, 6}} {
+		shape, err := prioritystar.NewTorus(dims...)
+		if err != nil {
+			return err
+		}
+		for _, vcs := range []int{1, 2} {
+			res, err := prioritystar.SimulateFinite(prioritystar.FiniteConfig{
+				Shape: shape, VCs: vcs, Capacity: 1, LambdaR: 0.35, Seed: 5,
+				Slots: 30000, StopInjection: 20000,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8s %6d %10d %12d %12d %10v\n",
+				shape, vcs, 1, res.Injected, res.Delivered, res.Deadlocked)
+		}
+	}
+	fmt.Println("(2 VCs implement the paper's VC1/VC2 dateline rule; 1 VC wedges)")
+	return nil
+}
+
+func cappedSection() error {
+	fmt.Println("=== throughput searches (paper Sections 1 and 3.2) ===")
+	fmt.Println("max stable rho (bisection, 4x8 torus, broadcast-only):")
+	for _, spec := range []prioritystar.SchemeSpec{
+		prioritystar.PrioritySTARSpec, prioritystar.FCFSDirectSpec, prioritystar.DimOrderSpec,
+	} {
+		rho, err := prioritystar.StabilitySearch([]int{4, 8}, spec, 1,
+			prioritystar.ExactDistance, 4000, 2, 31, 0.3, 1.05, 0.02)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s %.2f\n", spec.Name, rho)
+	}
+	fmt.Println("delay-capped rho (8x8 torus, reception delay <= 6.5 slots):")
+	for _, spec := range []prioritystar.SchemeSpec{
+		prioritystar.PrioritySTARSpec, prioritystar.FCFSDirectSpec,
+	} {
+		rho, err := prioritystar.DelayCappedThroughput([]int{8, 8}, spec, 1,
+			prioritystar.ExactDistance, prioritystar.CapReception, 6.5, 3000, 31, 0.2, 1.0, 0.02)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s %.2f\n", spec.Name, rho)
+	}
+	return nil
+}
+
+func queueingSection() error {
+	fmt.Println("=== queueing-model validation (paper Section 3.2) ===")
+	fmt.Printf("%8s %14s %14s %10s\n", "rho", "simulated W", "G/D/1 formula", "rel err")
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		res, err := mdqueue.Run(mdqueue.Config{
+			Lambda: []float64{rho}, Seed: 3, Warmup: 20000, Measure: 400000,
+		})
+		if err != nil {
+			return err
+		}
+		want := analysis.MD1Wait(rho)
+		got := res.All.Mean()
+		fmt.Printf("%8.2f %14.4f %14.4f %9.1f%%\n", rho, got, want, 100*math.Abs(got-want)/want)
+	}
+	const n = 8
+	res, err := mdqueue.Run(mdqueue.Config{
+		Lambda: []float64{0.9 / n, 0.9 * (n - 1) / n},
+		Seed:   4, Warmup: 20000, Measure: 400000,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2-class priority at rho=0.9, rho_H = rho/%d: W_H = %.3f (bound %.3f), W_L = %.3f\n",
+		n, res.Wait[0].Mean(), analysis.HighPriorityWaitBound(0.9, n), res.Wait[1].Mean())
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command starsim runs one simulation or one rho sweep of the priority
+// STAR reproduction and prints the measured statistics.
+//
+// Examples:
+//
+//	starsim -shape 8x8 -scheme priority-star -rho 0.8
+//	starsim -shape 4x4x8 -scheme separate-fcfs -frac 0.5 -sweep 0.5,0.7,0.9
+//	starsim -shape 8x8 -scheme fcfs-direct -rho 0.9 -len geom:4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prioritystar"
+	"prioritystar/internal/cli"
+	"prioritystar/internal/spec"
+)
+
+func main() {
+	var (
+		shapeFlag  = flag.String("shape", "8x8", "torus shape, e.g. 8x8 or 4x4x8")
+		schemeFlag = flag.String("scheme", "priority-star", "routing scheme: "+cli.SchemeNames())
+		rhoFlag    = flag.Float64("rho", 0.8, "throughput factor for a single run")
+		sweepFlag  = flag.String("sweep", "", "comma-separated rho grid (overrides -rho)")
+		fracFlag   = flag.Float64("frac", 1, "fraction of transmission load from broadcasts")
+		lenFlag    = flag.String("len", "fixed:1", "packet lengths: fixed:N or geom:MEAN")
+		seedFlag   = flag.Uint64("seed", 1, "base RNG seed")
+		warmupFlag = flag.Int64("warmup", 3000, "warm-up slots")
+		measure    = flag.Int64("measure", 10000, "measurement slots")
+		drainFlag  = flag.Int64("drain", 4000, "drain slots")
+		repsFlag   = flag.Int("reps", 3, "replications per sweep point")
+		floorFlag  = flag.Bool("floor", false, "use the paper's floor(n/4) distance model")
+		csvFlag    = flag.Bool("csv", false, "emit CSV instead of tables")
+		specFlag   = flag.String("spec", "", "run a JSON experiment spec file (overrides workload flags)")
+		dumpFlag   = flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
+	)
+	flag.Parse()
+	if *specFlag != "" {
+		if err := runSpec(*specFlag, *csvFlag, *dumpFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "starsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*shapeFlag, *schemeFlag, *rhoFlag, *sweepFlag, *fracFlag, *lenFlag,
+		*seedFlag, *warmupFlag, *measure, *drainFlag, *repsFlag, *floorFlag, *csvFlag, *dumpFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "starsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runSpec loads and executes a JSON experiment spec file.
+func runSpec(path string, csv, dump bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	exp, err := spec.Load(f)
+	if err != nil {
+		return err
+	}
+	if dump {
+		return spec.Save(os.Stdout, exp)
+	}
+	return render(exp, exp.BroadcastFrac, csv)
+}
+
+func run(shapeStr, schemeStr string, rho float64, sweepStr string, frac float64, lenStr string,
+	seed uint64, warmup, measure, drain int64, reps int, floor, csv, dump bool) error {
+	dims, err := cli.ParseShape(shapeStr)
+	if err != nil {
+		return err
+	}
+	schemeSpec, err := cli.SchemeByName(schemeStr)
+	if err != nil {
+		return err
+	}
+	length, err := cli.ParseLength(lenStr)
+	if err != nil {
+		return err
+	}
+	model := prioritystar.ExactDistance
+	if floor {
+		model = prioritystar.PaperFloorDistance
+	}
+
+	rhos := []float64{rho}
+	if sweepStr != "" {
+		if rhos, err = cli.ParseRhos(sweepStr); err != nil {
+			return err
+		}
+	}
+	exp := &prioritystar.Experiment{
+		ID:    "cli",
+		Title: fmt.Sprintf("starsim %s on %s", schemeStr, shapeStr),
+		Dims:  dims, Rhos: rhos, BroadcastFrac: frac,
+		Schemes: []prioritystar.SchemeSpec{schemeSpec},
+		Length:  length, Model: model,
+		Warmup: warmup, Measure: measure, Drain: drain,
+		Reps: reps, BaseSeed: seed,
+	}
+	if dump {
+		return spec.Save(os.Stdout, exp)
+	}
+	return render(exp, frac, csv)
+}
+
+// render runs the experiment and prints the requested output format.
+func render(exp *prioritystar.Experiment, frac float64, csv bool) error {
+	res, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	metrics := []prioritystar.Metric{
+		prioritystar.MetricReception, prioritystar.MetricBroadcast,
+	}
+	if frac < 1 {
+		metrics = append(metrics, prioritystar.MetricUnicast)
+	}
+	metrics = append(metrics, prioritystar.MetricAvgUtil, prioritystar.MetricMaxDimUtil,
+		prioritystar.MetricHighWait, prioritystar.MetricLowWait)
+	for _, m := range metrics {
+		if csv {
+			fmt.Printf("# %s\n%s", m, res.CSV(m))
+		} else {
+			fmt.Println(res.Table(m))
+		}
+	}
+	fmt.Printf("elapsed: %s\n", res.Elapsed.Round(1e7))
+	return nil
+}

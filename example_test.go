@@ -1,0 +1,74 @@
+package prioritystar_test
+
+import (
+	"fmt"
+
+	"prioritystar"
+)
+
+// The Eq. (2) vector for an asymmetric 4x8 torus skews the ending-dimension
+// choice toward the short dimension so every link carries the same load.
+func ExampleBalanceBroadcastOnly() {
+	shape, _ := prioritystar.NewTorus(4, 8)
+	v, _ := prioritystar.BalanceBroadcastOnly(shape)
+	fmt.Printf("feasible=%v x=[%.4f %.4f]\n", v.Feasible, v.X[0], v.X[1])
+	fmt.Printf("max throughput: %.2f\n", prioritystar.MaxThroughput(shape, v.X, 1, 0, prioritystar.ExactDistance))
+	// Output:
+	// feasible=true x=[0.5952 0.4048]
+	// max throughput: 1.00
+}
+
+// A STAR broadcast tree spans every node along shortest paths; the
+// ending-dimension hops (the bulk of the tree) are the low-priority ones.
+func ExampleBroadcastTree() {
+	shape, _ := prioritystar.NewTorus(5, 5)
+	scheme, _ := prioritystar.PrioritySTAR(shape, prioritystar.Rates{LambdaB: 1}, prioritystar.ExactDistance)
+	tree := prioritystar.BroadcastTree(scheme, 0, 1)
+	high, low := 0, 0
+	for v, tn := range tree {
+		if v == 0 {
+			continue
+		}
+		if tn.Class == 0 {
+			high++
+		} else {
+			low++
+		}
+	}
+	fmt.Printf("nodes=%d high-priority=%d low-priority=%d\n", len(tree), high, low)
+	// Output:
+	// nodes=25 high-priority=4 low-priority=20
+}
+
+// The oblivious lower bound Omega(d + 1/(1-rho)) instantiated on an 8x8
+// torus: average distance plus M/D/1 queueing.
+func ExampleReceptionLowerBound() {
+	shape, _ := prioritystar.NewTorus(8, 8)
+	for _, rho := range []float64{0.0, 0.5, 0.9} {
+		fmt.Printf("rho=%.1f bound=%.2f\n", rho, prioritystar.ReceptionLowerBound(shape, rho))
+	}
+	// Output:
+	// rho=0.0 bound=4.06
+	// rho=0.5 bound=4.56
+	// rho=0.9 bound=8.56
+}
+
+// Static-task lower bounds on an 8x8 torus: the diameter for a single
+// broadcast, the per-node bandwidth bound for MNB.
+func ExampleStaticLowerBound() {
+	shape, _ := prioritystar.NewTorus(8, 8)
+	fmt.Println(prioritystar.StaticLowerBound(shape, prioritystar.SingleBroadcast))
+	fmt.Println(prioritystar.StaticLowerBound(shape, prioritystar.MultinodeBroadcast))
+	// Output:
+	// 8
+	// 16
+}
+
+// Converting a throughput factor into per-node arrival rates and back.
+func ExampleRatesForRho() {
+	shape, _ := prioritystar.NewTorus(8, 8)
+	rates, _ := prioritystar.RatesForRho(shape, 0.8, 1, 1, prioritystar.ExactDistance)
+	fmt.Printf("lambdaB=%.5f rho=%.2f\n", rates.LambdaB, rates.Rho(shape, 1, prioritystar.ExactDistance))
+	// Output:
+	// lambdaB=0.05079 rho=0.80
+}

@@ -1,0 +1,64 @@
+// Deadlock demonstrates why the SDC algorithm of Section 3.1 uses two
+// virtual channels: with finite buffers, minimal routing around a
+// wraparound ring deadlocks, and the VC1/VC2 dateline split removes the
+// cyclic buffer dependency. The first scenario is the classic four-packet
+// cycle on a 4-ring; the second is sustained random traffic on a 6x6 torus
+// through single-slot buffers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prioritystar"
+)
+
+func main() {
+	ring, err := prioritystar.NewTorus(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Four packets, each destined two hops clockwise: every buffer fills
+	// and every packet waits for the next one's buffer.
+	var preload []prioritystar.Flow
+	for i := 0; i < 4; i++ {
+		preload = append(preload, prioritystar.Flow{
+			Src: prioritystar.Node(i), Dst: prioritystar.Node((i + 2) % 4),
+		})
+	}
+	fmt.Println("scenario 1: 4-ring, capacity-1 buffers, 4 clockwise packets")
+	for _, vcs := range []int{1, 2} {
+		res, err := prioritystar.SimulateFinite(prioritystar.FiniteConfig{
+			Shape: ring, VCs: vcs, Capacity: 1, Preload: preload, Slots: 5000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d VC(s): delivered %d/4, deadlocked=%v\n", vcs, res.Delivered, res.Deadlocked)
+	}
+
+	torus, err := prioritystar.NewTorus(6, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nscenario 2: 6x6 torus, capacity-1 buffers, sustained random unicast")
+	for _, vcs := range []int{1, 2} {
+		res, err := prioritystar.SimulateFinite(prioritystar.FiniteConfig{
+			Shape: torus, VCs: vcs, Capacity: 1, LambdaR: 0.35, Seed: 7,
+			Slots: 40000, StopInjection: 30000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d VC(s): injected %d, delivered %d, deadlocked=%v",
+			vcs, res.Injected, res.Delivered, res.Deadlocked)
+		if res.Deadlocked {
+			fmt.Printf(" (at slot %d)", res.DeadlockSlot)
+		} else {
+			fmt.Printf(", avg delay %.2f slots, remaining %d", res.Delay.Mean(), res.Remaining)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe 2-VC dateline split is the same VC1/VC2 rule the paper's SDC")
+	fmt.Println("broadcast algorithm assigns to pre-/post-wraparound dimensions.")
+}

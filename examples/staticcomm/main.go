@@ -1,0 +1,42 @@
+// Staticcomm measures the classical static communication tasks of the
+// paper's introduction — single broadcast, multinode broadcast (MNB), and
+// total exchange (TE) — as slot-0 impulses through the STAR machinery, and
+// compares the makespans against the diameter/bandwidth lower bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prioritystar"
+)
+
+func main() {
+	for _, dims := range [][]int{{8, 8}, {4, 8}} {
+		shape, err := prioritystar.NewTorus(dims...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates := prioritystar.Rates{LambdaB: 1}
+		scheme, err := prioritystar.PrioritySTAR(shape, rates, prioritystar.ExactDistance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("static communication on %s (balanced STAR trees)\n", shape)
+		for _, task := range []prioritystar.StaticTask{
+			prioritystar.SingleBroadcast,
+			prioritystar.MultinodeBroadcast,
+			prioritystar.TotalExchange,
+		} {
+			res, err := prioritystar.RunStatic(shape, scheme, task, 13)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-19s makespan %4d slots   lower bound %4d   efficiency %.2f\n",
+				res.Task, res.Makespan, res.LowerBound, res.Efficiency)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the balanced rotation that maximizes dynamic throughput also keeps")
+	fmt.Println("one-shot MNB and TE makespans within a small factor of the bounds.")
+}

@@ -1,0 +1,63 @@
+// Treeviz renders the spanning tree of a priority STAR broadcast in a 5x5
+// torus — the scenario of the paper's Fig. 1. For each node it shows the
+// hop depth and whether the copy arrived on a high- or low-priority
+// transmission (the ending dimension's transmissions are low priority).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prioritystar"
+)
+
+func main() {
+	shape, err := prioritystar.NewTorus(5, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := prioritystar.RatesForRho(shape, 0.5, 1, 1, prioritystar.ExactDistance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := prioritystar.PrioritySTAR(shape, rates, prioritystar.ExactDistance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	source := shape.Node([]int{2, 2})
+	for ending := 0; ending < shape.Dims(); ending++ {
+		tree := prioritystar.BroadcastTree(scheme, source, ending)
+		fmt.Printf("STAR broadcast tree on %s, source (2,2), ending dimension %d\n", shape, ending)
+		fmt.Println("  cell = depth:priority   (S = source, H = high, L = low/ending-dim)")
+		for y := shape.Dim(1) - 1; y >= 0; y-- {
+			fmt.Printf("  y=%d |", y)
+			for x := 0; x < shape.Dim(0); x++ {
+				v := shape.Node([]int{x, y})
+				tn := tree[v]
+				switch {
+				case v == source:
+					fmt.Printf("  S  ")
+				case tn.Class == 0:
+					fmt.Printf(" %d:H ", tn.Depth)
+				default:
+					fmt.Printf(" %d:L ", tn.Depth)
+				}
+			}
+			fmt.Println()
+		}
+		high, low := 0, 0
+		for v := range tree {
+			if prioritystar.Node(v) == source {
+				continue
+			}
+			if tree[v].Class == 0 {
+				high++
+			} else {
+				low++
+			}
+		}
+		fmt.Printf("  transmissions: %d high priority, %d low priority (paper: N/n-1=%d high, N-N/n=%d low)\n\n",
+			high, low, shape.Size()/shape.Dim(ending)-1, shape.Size()-shape.Size()/shape.Dim(ending))
+	}
+}

@@ -1,0 +1,54 @@
+// Varlen exercises the Section 3.2 claim that priority STAR applies,
+// without modification, to packets of variable length: broadcast packets
+// with geometrically distributed lengths (mean 4 slots) on an 8x8 torus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prioritystar"
+)
+
+func main() {
+	shape, err := prioritystar.NewTorus(8, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	length := prioritystar.GeometricLength(4)
+	fmt.Printf("variable-length broadcasting on %s (geometric lengths, mean %.0f slots)\n\n",
+		shape, length.Mean())
+
+	for _, rho := range []float64{0.4, 0.7, 0.85} {
+		rates, err := prioritystar.RatesForRho(shape, rho, 1, length.Mean(), prioritystar.ExactDistance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prio, err := prioritystar.PrioritySTAR(shape, rates, prioritystar.ExactDistance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fcfs, err := prioritystar.STARFCFS(shape, rates, prioritystar.ExactDistance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := prioritystar.SimConfig{
+			Shape: shape, Rates: rates, Length: length, Seed: 99,
+			Warmup: 6000, Measure: 20000, Drain: 8000,
+		}
+		cfg.Scheme = prio
+		resP, err := prioritystar.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scheme = fcfs
+		resF, err := prioritystar.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rho=%.2f  reception delay: priority STAR %7.2f | FCFS %7.2f   utilization %.3f\n",
+			rho, resP.Reception.Mean(), resF.Reception.Mean(), resP.AvgUtilization)
+	}
+	fmt.Println("\nwith 4-slot packets the uncontended per-hop time is 4 slots, so delays")
+	fmt.Println("are ~4x the unit-length figures; the priority STAR advantage persists.")
+}

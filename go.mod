@@ -1,0 +1,3 @@
+module prioritystar
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package analysis collects the closed-form results of the paper's
+// Section 2 and Section 3.2: throughput-factor formulas for hypercubes,
+// meshes and tori, the G/D/1 waiting-time expression behind the priority
+// STAR delay analysis, the oblivious lower-bound curves the figures are
+// compared against, and Little's-law task-concurrency estimates (Fig. 8's
+// caption).
+//
+// All delays are expressed in slots (the transmission time of a unit
+// packet), matching the simulator.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/torus"
+)
+
+// HypercubeRho returns the Section 2 throughput factor of a d-dimensional
+// hypercube carrying broadcast rate lambdaB and unicast rate lambdaR per
+// node:
+//
+//	rho = lambdaB*(2^d-1)/d + lambdaR*(1/2 + 1/(2*(2^d-1))).
+func HypercubeRho(d int, lambdaB, lambdaR float64) float64 {
+	n := math.Pow(2, float64(d))
+	return lambdaB*(n-1)/float64(d) + lambdaR*(0.5+1/(2*(n-1)))
+}
+
+// MeshBroadcastRho returns the Section 2 throughput factor of an n x n mesh
+// (no wraparound) carrying only broadcast traffic:
+//
+//	rho = lambdaB*(n^2-1)/(4-4/n).
+func MeshBroadcastRho(n int, lambdaB float64) float64 {
+	return lambdaB * (float64(n)*float64(n) - 1) / (4 - 4/float64(n))
+}
+
+// MeshMaxBroadcastThroughput is the Section 2 observation that corner nodes
+// of a mesh have only two incident links, capping any broadcast scheme's
+// maximum throughput factor at 0.5.
+const MeshMaxBroadcastThroughput = 0.5
+
+// MeshMaxBroadcastThroughputExact is the finite-n version of the corner
+// bound for an n x n mesh: a corner must receive all N-1 packets over its 2
+// incoming links while rho normalizes by the average degree 4 - 4/n, so no
+// scheme can exceed n/(2(n-1)), which tends to the 0.5 of the paper's text.
+func MeshMaxBroadcastThroughputExact(n int) float64 {
+	return float64(n) / (2 * float64(n-1))
+}
+
+// PaperTorusRho returns the Section 4 throughput factor of a torus using
+// the paper's floor(n_i/4) average-distance convention:
+//
+//	rho = lambdaB*(N-1)/(2d) + lambdaR*sum(floor(n_i/4))/(2d).
+//
+// Note the paper assumes every dimension has two links per node; for shapes
+// with 2-ring dimensions use traffic.Rates.Rho, which divides by the true
+// degree.
+func PaperTorusRho(s *torus.Shape, lambdaB, lambdaR float64) float64 {
+	twoD := 2 * float64(s.Dims())
+	return lambdaB*float64(s.Size()-1)/twoD +
+		lambdaR*balance.TotalDistance(s, balance.PaperFloorDistance)/twoD
+}
+
+// GD1Wait returns the average waiting time of the paper's G/D/1 queue with
+// unit service, load rho and arrival-count variance v per slot:
+//
+//	W = v/(2*rho*(1-rho)) - 1/2.
+//
+// It returns +Inf at or beyond saturation.
+func GD1Wait(rho, v float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return v/(2*rho*(1-rho)) - 0.5
+}
+
+// MD1Wait is GD1Wait specialized to Poisson arrivals (variance = rho):
+//
+//	W = rho/(2*(1-rho)),
+//
+// the classical M/D/1 mean wait in service-time units.
+func MD1Wait(rho float64) float64 {
+	return GD1Wait(rho, rho)
+}
+
+// HighPriorityWaitBound returns the Section 3.2 bound on the mean wait of
+// high-priority packets in an n-ary d-cube: a G/D/1 queue whose load is the
+// high-priority fraction rhoH < 1/n of the total, giving O(1/n) wait.
+func HighPriorityWaitBound(rho float64, n int) float64 {
+	rhoH := rho / float64(n)
+	return MD1Wait(rhoH)
+}
+
+// ReceptionLowerBound returns the Omega(d + 1/(1-rho)) oblivious lower
+// bound on the average reception delay for random broadcasting in shape s
+// (the Stamoulis-Tsitsiklis bound extended to tori in Section 2),
+// instantiated as the uncontended average tree depth plus an M/D/1 queueing
+// term. Measured curves must lie above it.
+func ReceptionLowerBound(s *torus.Shape, rho float64) float64 {
+	return s.AvgDistance() + MD1Wait(rho)
+}
+
+// BroadcastLowerBound is the corresponding bound for the average broadcast
+// delay: no scheme can complete a broadcast before its copies reach the
+// farthest node.
+func BroadcastLowerBound(s *torus.Shape, rho float64) float64 {
+	return float64(s.Diameter()) + MD1Wait(rho)
+}
+
+// UnicastLowerBound is the Section 2 bound for random 1-1 routing: average
+// shortest-path distance plus queueing.
+func UnicastLowerBound(s *torus.Shape, rho float64) float64 {
+	return s.AvgDistance() + MD1Wait(rho)
+}
+
+// Concurrency applies Little's law: the expected number of tasks in flight
+// network-wide when each of the N nodes generates ratePerNode tasks per
+// slot and a task lives avgDelay slots.
+func Concurrency(ratePerNode float64, n int, avgDelay float64) float64 {
+	return ratePerNode * float64(n) * avgDelay
+}
+
+// SeparateBalancingLimit returns the maximum throughput factor of the
+// paper's Section 1 example computed exactly: a torus with n_1 = ... =
+// n_{d-1} = n and n_d = 2n, a 50/50 broadcast/unicast transmission split,
+// broadcast balanced in isolation (Eq. 2) while unicast follows shortest
+// paths. As d grows this approaches the paper's quoted ~0.67.
+func SeparateBalancingLimit(n, d int) (float64, error) {
+	if d < 2 {
+		return 0, fmt.Errorf("analysis: need d >= 2, got %d", d)
+	}
+	dims := make([]int, d)
+	for i := range dims {
+		dims[i] = n
+	}
+	dims[d-1] = 2 * n
+	s, err := torus.New(dims...)
+	if err != nil {
+		return 0, err
+	}
+	lambdaB := 1.0
+	lambdaR := lambdaB * float64(s.Size()-1) / balance.TotalDistance(s, balance.ExactDistance)
+	v, err := balance.BroadcastOnly(s)
+	if err != nil {
+		return 0, err
+	}
+	return balance.MaxThroughput(s, v.X, lambdaB, lambdaR, balance.ExactDistance), nil
+}
+
+// AsymptoticSeparateLimit is the d -> infinity value of
+// SeparateBalancingLimit: with the long dimension carrying twice the
+// average unicast load, max utilization is 1.5x the average, capping the
+// throughput factor at 2/3 — the paper's "about 0.67".
+const AsymptoticSeparateLimit = 2.0 / 3.0

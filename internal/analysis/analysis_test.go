@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHypercubeRho(t *testing.T) {
+	// d=3: rho = lambdaB*7/3 + lambdaR*(1/2 + 1/14).
+	got := HypercubeRho(3, 0.3, 0.7)
+	want := 0.3*7.0/3 + 0.7*(0.5+1.0/14)
+	if !almost(got, want, 1e-12) {
+		t.Errorf("HypercubeRho = %g, want %g", got, want)
+	}
+	// Broadcast-only unit check: lambdaB = d/(2^d-1) gives rho = 1.
+	if !almost(HypercubeRho(5, 5.0/31, 0), 1, 1e-12) {
+		t.Error("hypercube saturation rate wrong")
+	}
+}
+
+func TestMeshBroadcastRho(t *testing.T) {
+	// n=4: rho = lambdaB * 15 / 3.
+	if !almost(MeshBroadcastRho(4, 0.2), 1, 1e-12) {
+		t.Errorf("MeshBroadcastRho = %g", MeshBroadcastRho(4, 0.2))
+	}
+	if MeshMaxBroadcastThroughput != 0.5 {
+		t.Error("mesh max throughput constant wrong")
+	}
+	// Exact corner bound: n/(2(n-1)), decreasing toward 0.5.
+	if got := MeshMaxBroadcastThroughputExact(2); got != 1 {
+		t.Errorf("2x2 mesh bound = %g, want 1", got)
+	}
+	prev := 1.0
+	for _, n := range []int{3, 4, 8, 64} {
+		got := MeshMaxBroadcastThroughputExact(n)
+		if got >= prev || got < 0.5 {
+			t.Errorf("mesh bound n=%d: %g not decreasing toward 0.5", n, got)
+		}
+		prev = got
+	}
+	if MeshMaxBroadcastThroughputExact(1000) > 0.501 {
+		t.Error("mesh bound should approach 0.5")
+	}
+}
+
+func TestPaperTorusRho(t *testing.T) {
+	// 8x8 torus: rho = lambdaB*63/4 + lambdaR*4/4.
+	got := PaperTorusRho(torus.MustNew(8, 8), 0.04, 0.1)
+	want := 0.04*63/4 + 0.1*1
+	if !almost(got, want, 1e-12) {
+		t.Errorf("PaperTorusRho = %g, want %g", got, want)
+	}
+}
+
+func TestGD1AndMD1Wait(t *testing.T) {
+	if GD1Wait(0, 1) != 0 {
+		t.Error("zero load should have zero wait")
+	}
+	if !math.IsInf(GD1Wait(1, 1), 1) || !math.IsInf(MD1Wait(1.2), 1) {
+		t.Error("saturated queue should have infinite wait")
+	}
+	// Poisson arrivals: V = rho reduces G/D/1 to M/D/1.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		want := rho / (2 * (1 - rho))
+		if !almost(MD1Wait(rho), want, 1e-12) {
+			t.Errorf("MD1Wait(%g) = %g, want %g", rho, MD1Wait(rho), want)
+		}
+		if !almost(GD1Wait(rho, rho), MD1Wait(rho), 1e-12) {
+			t.Error("GD1Wait(rho, rho) must equal MD1Wait(rho)")
+		}
+	}
+	// M/D/1 wait diverges as rho -> 1.
+	if MD1Wait(0.99) < 40 {
+		t.Error("near-saturation wait should be large")
+	}
+}
+
+func TestHighPriorityWaitBound(t *testing.T) {
+	// rho=0.9, n=8: rhoH = 0.1125 -> W_H ~ 0.0634 slots: o(1).
+	w := HighPriorityWaitBound(0.9, 8)
+	if w > 0.1 {
+		t.Errorf("high-priority bound = %g, want < 0.1", w)
+	}
+	// Larger n shrinks it further (the O(1/n) claim).
+	if HighPriorityWaitBound(0.9, 16) >= w {
+		t.Error("bound should decrease with n")
+	}
+}
+
+func TestLowerBoundsMonotone(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	prev := 0.0
+	for _, rho := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		lb := ReceptionLowerBound(s, rho)
+		if lb <= prev {
+			t.Errorf("reception bound not increasing at rho=%g", rho)
+		}
+		prev = lb
+		if BroadcastLowerBound(s, rho) < lb {
+			t.Error("broadcast bound must dominate reception bound")
+		}
+		if UnicastLowerBound(s, rho) != lb {
+			t.Error("unicast and reception bounds share the same form")
+		}
+	}
+	// At rho -> 0 the bounds reduce to distance/diameter.
+	if !almost(ReceptionLowerBound(s, 0), s.AvgDistance(), 1e-12) {
+		t.Error("rho=0 reception bound should equal average distance")
+	}
+	if !almost(BroadcastLowerBound(s, 0), 8, 1e-12) {
+		t.Error("rho=0 broadcast bound should equal diameter")
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	if Concurrency(0.01, 100, 50) != 50 {
+		t.Errorf("Concurrency = %g, want 50", Concurrency(0.01, 100, 50))
+	}
+}
+
+func TestSeparateBalancingLimitApproachesTwoThirds(t *testing.T) {
+	prev := 1.0
+	for _, d := range []int{2, 3, 5, 8} {
+		mt, err := SeparateBalancingLimit(4, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mt >= prev {
+			t.Errorf("d=%d: limit %g should decrease with d (prev %g)", d, mt, prev)
+		}
+		if mt < AsymptoticSeparateLimit-1e-9 {
+			t.Errorf("d=%d: limit %g fell below the asymptote 2/3", d, mt)
+		}
+		prev = mt
+	}
+	// d=8 should already be within 10% of 2/3.
+	mt, _ := SeparateBalancingLimit(4, 8)
+	if mt > AsymptoticSeparateLimit*1.1 {
+		t.Errorf("d=8 limit %g not yet near 2/3", mt)
+	}
+	if _, err := SeparateBalancingLimit(4, 1); err == nil {
+		t.Error("d=1 should error")
+	}
+}
+
+// TestMD1MatchesSimulatedQueueWait cross-checks the queueing model against
+// the simulator: for balanced broadcast-only FCFS traffic the per-link
+// arrival process is approximately Poisson, so the measured queue wait
+// should be near MD1Wait(rho).
+func TestMD1MatchesSimulatedQueueWait(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	rho := 0.5
+	rates, err := traffic.RatesForRho(s, rho, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.STARFCFS(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Shape: s, Scheme: sch, Rates: rates, Seed: 7,
+		Warmup: 2000, Measure: 10000, Drain: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.QueueWait[0].Mean()
+	want := MD1Wait(rho) // 0.5 slots
+	// Broadcast tree arrivals are burstier than Poisson (a delivery can
+	// spawn several copies at once), so allow a factor-2 corridor.
+	if got < want*0.5 || got > want*2.5 {
+		t.Errorf("simulated FCFS wait %g vs M/D/1 %g: outside corridor", got, want)
+	}
+}

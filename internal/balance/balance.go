@@ -1,0 +1,305 @@
+// Package balance computes the STAR ending-dimension probability vectors
+// that equalize link loads, reproducing Eq. (1), Eq. (2), and Eq. (4) of the
+// paper.
+//
+// A broadcast task with ending dimension l covers the torus dimensions in
+// the rotated order l+1, l+2, ..., d-1, 0, 1, ..., l (0-indexed) and
+// performs a_{i,l} transmissions on dimension-i links, where a_{i,l} is the
+// paper's Eq. (1): (n_i - 1) times the product of the ring lengths of the
+// dimensions covered before i. Choosing ending dimension l with probability
+// x_l, where x solves the paper's linear systems, makes the expected load
+// identical on every directed link.
+//
+// Generalization: the paper's Eq. (2) target of (N-1)/d transmissions per
+// dimension assumes every dimension contributes the same number of links
+// (two directed links per node). Dimensions of length 2 contribute only one
+// link per node (so that a 2-ary d-cube is the binary hypercube), so this
+// package balances per-link load instead: dimension i is assigned the
+// fraction dirs_i / degree of the total transmissions, which reduces to the
+// paper's 1/d for shapes without 2-rings.
+package balance
+
+import (
+	"fmt"
+	"math"
+
+	"prioritystar/internal/linsolve"
+	"prioritystar/internal/torus"
+)
+
+// DistanceModel selects how the expected per-dimension unicast distance is
+// computed when balancing heterogeneous traffic (Eq. 4).
+type DistanceModel int
+
+const (
+	// ExactDistance uses the exact expectation of the ring distance for
+	// destinations uniform over the other N-1 nodes. This makes the
+	// measured loads match the predictions exactly.
+	ExactDistance DistanceModel = iota
+	// PaperFloorDistance uses the paper's floor(n_i/4) approximation from
+	// Section 4.
+	PaperFloorDistance
+)
+
+// DimDistance returns the expected number of dimension-i transmissions per
+// unicast task under the given model.
+func DimDistance(s *torus.Shape, i int, m DistanceModel) float64 {
+	if m == PaperFloorDistance {
+		return float64(s.PaperDimDistance(i))
+	}
+	return s.AvgDimDistance(i)
+}
+
+// TotalDistance returns the expected unicast path length under the model
+// (the paper's D_ave, or its floor approximation).
+func TotalDistance(s *torus.Shape, m DistanceModel) float64 {
+	total := 0.0
+	for i := 0; i < s.Dims(); i++ {
+		total += DimDistance(s, i, m)
+	}
+	return total
+}
+
+// DimOrder returns the dimension traversal order of a STAR broadcast with
+// the given ending dimension: ending+1, ending+2, ..., wrapping around, with
+// the ending dimension last.
+func DimOrder(d, ending int) []int {
+	if ending < 0 || ending >= d {
+		panic(fmt.Sprintf("balance: ending dimension %d out of range [0,%d)", ending, d))
+	}
+	order := make([]int, d)
+	for p := 0; p < d; p++ {
+		order[p] = (ending + 1 + p) % d
+	}
+	return order
+}
+
+// Coeff returns a_{i,l} (paper Eq. 1): the number of transmissions a single
+// STAR broadcast with ending dimension l performs on dimension-i links.
+func Coeff(s *torus.Shape, i, l int) int {
+	product := 1
+	for _, j := range DimOrder(s.Dims(), l) {
+		if j == i {
+			return (s.Dim(i) - 1) * product
+		}
+		product *= s.Dim(j)
+	}
+	panic("unreachable: DimOrder covers every dimension")
+}
+
+// Coeffs returns the full d x d coefficient matrix A with A[i][l] = a_{i,l}.
+func Coeffs(s *torus.Shape) *linsolve.Matrix {
+	d := s.Dims()
+	m := linsolve.NewMatrix(d, d)
+	for l := 0; l < d; l++ {
+		product := 1
+		for _, i := range DimOrder(d, l) {
+			m.Set(i, l, float64((s.Dim(i)-1)*product))
+			product *= s.Dim(i)
+		}
+	}
+	return m
+}
+
+// Vector is an ending-dimension probability assignment together with
+// feasibility information.
+type Vector struct {
+	// X[l] is the probability of choosing l as the ending dimension.
+	X []float64
+	// Feasible reports whether the unclamped solution of the balance
+	// system was a legitimate probability vector (all entries in [0,1]).
+	// When false, X holds the clamped/renormalized vector the paper
+	// prescribes for infeasible cases (Section 4) and the link loads are
+	// only approximately balanced.
+	Feasible bool
+}
+
+// Uniform returns the uniform vector x_l = 1/d, the solution for symmetric
+// tori and the paper's model of schemes that ignore load imbalance.
+func Uniform(d int) Vector {
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = 1 / float64(d)
+	}
+	return Vector{X: x, Feasible: true}
+}
+
+// dimShare returns the fraction of total transmissions dimension i should
+// carry for per-link balance: dirs_i / degree.
+func dimShare(s *torus.Shape, i int) float64 {
+	return float64(s.DirsInDim(i)) / float64(s.Degree())
+}
+
+const feasEps = 1e-9
+
+func checkFeasible(x []float64) bool {
+	for _, v := range x {
+		if v < -feasEps || v > 1+feasEps {
+			return false
+		}
+	}
+	return true
+}
+
+// BroadcastOnly solves the paper's Eq. (2): the ending-dimension
+// probabilities that balance a pure random-broadcasting workload. For a
+// symmetric torus the result is the uniform vector.
+func BroadcastOnly(s *torus.Shape) (Vector, error) {
+	return Heterogeneous(s, 1, 0, ExactDistance)
+}
+
+// Heterogeneous solves the paper's Eq. (4): the ending-dimension
+// probabilities that balance combined random-broadcast (rate lambdaB) and
+// random-unicast (rate lambdaR) traffic. Only the ratio lambdaR/lambdaB
+// matters. If lambdaB is zero the broadcast vector is irrelevant and the
+// uniform vector is returned.
+//
+// If the solved vector is not a legitimate probability vector, it is
+// clamped to the simplex as Section 4 prescribes (e.g. (x1,x2) with x1 > 1,
+// x2 < 0 becomes (1,0)) and Feasible is false.
+func Heterogeneous(s *torus.Shape, lambdaB, lambdaR float64, m DistanceModel) (Vector, error) {
+	d := s.Dims()
+	if lambdaB < 0 || lambdaR < 0 {
+		return Vector{}, fmt.Errorf("balance: negative rates (%g, %g)", lambdaB, lambdaR)
+	}
+	if lambdaB == 0 {
+		return Uniform(d), nil
+	}
+	ratio := lambdaR / lambdaB
+
+	total := float64(s.Size() - 1) // broadcast transmissions per task
+	sumU := 0.0
+	u := make([]float64, d)
+	for i := 0; i < d; i++ {
+		u[i] = DimDistance(s, i, m)
+		sumU += u[i]
+	}
+	// Per-dimension targets: share of all transmissions proportional to the
+	// dimension's link count, minus the unicast contribution, divided by
+	// lambdaB (paper Eq. 4 rearranged).
+	b := make([]float64, d)
+	for i := 0; i < d; i++ {
+		b[i] = (total+ratio*sumU)*dimShare(s, i) - ratio*u[i]
+	}
+	a := Coeffs(s)
+	x, err := linsolve.Solve(a, b)
+	if err != nil {
+		return Vector{}, fmt.Errorf("balance: solving Eq. 4 for %v: %w", s, err)
+	}
+	if res, err := linsolve.Residual(a, x, b); err != nil || res > 1e-6*(total+1) {
+		return Vector{}, fmt.Errorf("balance: ill-conditioned system for %v (residual %g, %v)", s, res, err)
+	}
+	if checkFeasible(x) {
+		clampTiny(x)
+		return Vector{X: x, Feasible: true}, nil
+	}
+	return Vector{X: ClampSimplex(x), Feasible: false}, nil
+}
+
+// clampTiny snaps slightly-out-of-range entries produced by floating-point
+// error onto [0, 1].
+func clampTiny(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else if v > 1 {
+			x[i] = 1
+		}
+	}
+}
+
+// ClampSimplex projects x onto the probability simplex by zeroing negative
+// entries and rescaling until every entry lies in [0, 1] and the entries sum
+// to 1. This implements the paper's Section 4 fallback for infeasible
+// solutions.
+func ClampSimplex(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	// Pre-scale enormous inputs so the normalization sum cannot overflow.
+	maxAbs := 0.0
+	for _, v := range out {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 1e100 {
+		for i := range out {
+			out[i] /= maxAbs
+		}
+	}
+	for iter := 0; iter < len(x)+2; iter++ {
+		sum := 0.0
+		again := false
+		for i, v := range out {
+			if v < 0 {
+				out[i] = 0
+				v = 0
+			}
+			sum += v
+		}
+		if sum == 0 {
+			// Degenerate input; fall back to uniform.
+			for i := range out {
+				out[i] = 1 / float64(len(out))
+			}
+			return out
+		}
+		for i := range out {
+			out[i] /= sum
+			if out[i] < 0 {
+				again = true
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	return out
+}
+
+// PredictedDimUtilization returns the expected utilization of each
+// dimension's links under ending-dimension vector x and the given traffic
+// rates: (lambdaB * sum_l x_l a_{i,l} + lambdaR * u_i) / dirs_i.
+func PredictedDimUtilization(s *torus.Shape, x []float64, lambdaB, lambdaR float64, m DistanceModel) []float64 {
+	d := s.Dims()
+	if len(x) != d {
+		panic(fmt.Sprintf("balance: vector length %d != dims %d", len(x), d))
+	}
+	util := make([]float64, d)
+	for i := 0; i < d; i++ {
+		load := 0.0
+		for l := 0; l < d; l++ {
+			load += x[l] * float64(Coeff(s, i, l))
+		}
+		util[i] = (lambdaB*load + lambdaR*DimDistance(s, i, m)) / float64(s.DirsInDim(i))
+	}
+	return util
+}
+
+// MaxUtilization returns the maximum predicted link utilization, the
+// quantity that bounds the achievable throughput factor: the workload is
+// stable only while MaxUtilization < 1.
+func MaxUtilization(s *torus.Shape, x []float64, lambdaB, lambdaR float64, m DistanceModel) float64 {
+	max := 0.0
+	for _, v := range PredictedDimUtilization(s, x, lambdaB, lambdaR, m) {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxThroughput returns the maximum throughput factor achievable with
+// vector x: the throughput factor at which the most loaded link saturates.
+// A perfectly balanced vector yields 1; the paper's Section 1 example
+// (separate balancing in a torus with one double-length dimension) yields
+// about 2/3 for large d.
+func MaxThroughput(s *torus.Shape, x []float64, lambdaB, lambdaR float64, m DistanceModel) float64 {
+	maxU := MaxUtilization(s, x, lambdaB, lambdaR, m)
+	if maxU == 0 {
+		return math.Inf(1)
+	}
+	// Throughput factor of the offered load.
+	rho := (lambdaB*float64(s.Size()-1) + lambdaR*TotalDistance(s, m)) / float64(s.Degree())
+	return rho / maxU
+}

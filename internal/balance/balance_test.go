@@ -1,0 +1,476 @@
+package balance
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"prioritystar/internal/torus"
+)
+
+func TestDimOrder(t *testing.T) {
+	cases := []struct {
+		d, ending int
+		want      []int
+	}{
+		{3, 2, []int{0, 1, 2}},
+		{3, 0, []int{1, 2, 0}},
+		{3, 1, []int{2, 0, 1}},
+		{1, 0, []int{0}},
+		{4, 1, []int{2, 3, 0, 1}},
+	}
+	for _, c := range cases {
+		got := DimOrder(c.d, c.ending)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("DimOrder(%d, %d) = %v, want %v", c.d, c.ending, got, c.want)
+				break
+			}
+		}
+		if got[len(got)-1] != c.ending {
+			t.Errorf("DimOrder(%d, %d): ending dimension must come last", c.d, c.ending)
+		}
+	}
+}
+
+func TestDimOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DimOrder with out-of-range ending should panic")
+		}
+	}()
+	DimOrder(3, 3)
+}
+
+func TestCoeffHandValues4x8(t *testing.T) {
+	// 4x8 torus, paper Eq. (1) computed by hand.
+	s := torus.MustNew(4, 8)
+	cases := []struct{ i, l, want int }{
+		{1, 0, 7},  // ending 0: order (1,0); dim 1 first: n2-1 = 7
+		{0, 0, 24}, // dim 0 second: (4-1)*8 = 24
+		{0, 1, 3},  // ending 1: order (0,1); dim 0 first: 3
+		{1, 1, 28}, // dim 1 second: 7*4 = 28
+	}
+	for _, c := range cases {
+		if got := Coeff(s, c.i, c.l); got != c.want {
+			t.Errorf("Coeff(%d, %d) = %d, want %d", c.i, c.l, got, c.want)
+		}
+	}
+}
+
+func TestCoeffHandValues4x4x8(t *testing.T) {
+	s := torus.MustNew(4, 4, 8)
+	// ending = 2 => order (0,1,2): a = 3, 3*4=12, 7*16=112.
+	if Coeff(s, 0, 2) != 3 || Coeff(s, 1, 2) != 12 || Coeff(s, 2, 2) != 112 {
+		t.Errorf("ending 2: got %d %d %d", Coeff(s, 0, 2), Coeff(s, 1, 2), Coeff(s, 2, 2))
+	}
+	// ending = 0 => order (1,2,0): a1=3, a2=7*4=28, a0=3*32=96.
+	if Coeff(s, 1, 0) != 3 || Coeff(s, 2, 0) != 28 || Coeff(s, 0, 0) != 96 {
+		t.Errorf("ending 0: got %d %d %d", Coeff(s, 1, 0), Coeff(s, 2, 0), Coeff(s, 0, 0))
+	}
+}
+
+func TestCoeffsMatchesCoeff(t *testing.T) {
+	s := torus.MustNew(3, 5, 2, 4)
+	m := Coeffs(s)
+	for i := 0; i < s.Dims(); i++ {
+		for l := 0; l < s.Dims(); l++ {
+			if m.At(i, l) != float64(Coeff(s, i, l)) {
+				t.Errorf("Coeffs[%d][%d] = %g, want %d", i, l, m.At(i, l), Coeff(s, i, l))
+			}
+		}
+	}
+}
+
+// TestCoeffColumnSums verifies the paper's Eq. (3): every ending dimension
+// generates exactly N-1 transmissions in total.
+func TestCoeffColumnSums(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		d := 1 + rng.IntN(4)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + rng.IntN(7)
+		}
+		s := torus.MustNew(dims...)
+		for l := 0; l < d; l++ {
+			sum := 0
+			for i := 0; i < d; i++ {
+				sum += Coeff(s, i, l)
+			}
+			if sum != s.Size()-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastOnlySymmetric(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {5, 5, 5}, {2, 2, 2, 2}} {
+		s := torus.MustNew(dims...)
+		v, err := BroadcastOnly(s)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if !v.Feasible {
+			t.Errorf("%v: symmetric vector should be feasible", dims)
+		}
+		want := 1 / float64(s.Dims())
+		for l, x := range v.X {
+			if math.Abs(x-want) > 1e-9 {
+				t.Errorf("%v: x[%d] = %g, want %g", dims, l, x, want)
+			}
+		}
+	}
+}
+
+func TestBroadcastOnly4x8HandSolution(t *testing.T) {
+	// Hand-solved Eq. (2) for the 4x8 torus:
+	// 24 x0 + 3 x1 = 15.5; 7 x0 + 28 x1 = 15.5
+	// => x0 = 387.5/651, x1 = 263.5/651.
+	s := torus.MustNew(4, 8)
+	v, err := BroadcastOnly(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{387.5 / 651, 263.5 / 651}
+	for i := range want {
+		if math.Abs(v.X[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %.9f, want %.9f", i, v.X[i], want[i])
+		}
+	}
+	if !v.Feasible {
+		t.Error("4x8 broadcast vector should be feasible")
+	}
+}
+
+func TestBroadcastOnlySumsToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		d := 1 + rng.IntN(4)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + rng.IntN(7)
+		}
+		s := torus.MustNew(dims...)
+		v, err := BroadcastOnly(s)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range v.X {
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBroadcastOnlyBalancesLoads: the defining property of Eq. (2) — the
+// predicted per-link utilization is identical on every dimension.
+func TestBroadcastOnlyBalancesLoads(t *testing.T) {
+	for _, dims := range [][]int{{4, 8}, {4, 4, 8}, {3, 5, 7}, {2, 8}, {6, 2, 4}} {
+		s := torus.MustNew(dims...)
+		v, err := BroadcastOnly(s)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if !v.Feasible {
+			t.Fatalf("%v: expected feasible broadcast-only vector", dims)
+		}
+		util := PredictedDimUtilization(s, v.X, 1, 0, ExactDistance)
+		for i := 1; i < len(util); i++ {
+			if math.Abs(util[i]-util[0]) > 1e-6*util[0] {
+				t.Errorf("%v: dim %d utilization %g != dim 0 %g", dims, i, util[i], util[0])
+			}
+		}
+	}
+}
+
+func TestHeterogeneousBalancesLoads(t *testing.T) {
+	s := torus.MustNew(4, 4, 8)
+	// 50/50 transmission split: lambdaB*(N-1) = lambdaR*D_ave.
+	lambdaB := 1.0
+	lambdaR := lambdaB * float64(s.Size()-1) / TotalDistance(s, ExactDistance)
+	v, err := Heterogeneous(s, lambdaB, lambdaR, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Feasible {
+		t.Fatal("4x4x8 50/50 should be feasible")
+	}
+	util := PredictedDimUtilization(s, v.X, lambdaB, lambdaR, ExactDistance)
+	for i := 1; i < len(util); i++ {
+		if math.Abs(util[i]-util[0]) > 1e-6*util[0] {
+			t.Errorf("dim %d utilization %g != dim 0 %g", i, util[i], util[0])
+		}
+	}
+	// Balanced vector achieves maximum throughput factor 1.
+	if mt := MaxThroughput(s, v.X, lambdaB, lambdaR, ExactDistance); math.Abs(mt-1) > 1e-6 {
+		t.Errorf("balanced MaxThroughput = %g, want 1", mt)
+	}
+}
+
+// TestSeparateBalancingLosesThroughput reproduces the paper's Section 1
+// example: in a torus with n_1 = ... = n_{d-1} = n_d/2 and a 50/50
+// unicast/broadcast transmission split, balancing broadcast separately
+// (ignoring unicast) caps the throughput factor well below 1, approaching
+// 2/3 as d grows.
+func TestSeparateBalancingLosesThroughput(t *testing.T) {
+	cases := []struct {
+		dims      []int
+		lo, hi    float64 // expected separate-balancing MaxThroughput window
+		jointWant float64 // minimum joint MaxThroughput (clamping may cost a little)
+	}{
+		{[]int{4, 4, 8}, 0.78, 0.82, 0.999},
+		{[]int{4, 4, 4, 4, 8}, 0.72, 0.78, 0.99},
+		// Trends toward the paper's quoted ~0.67 limit as d grows.
+		{[]int{4, 4, 4, 4, 4, 4, 4, 8}, 0.68, 0.74, 0.95},
+	}
+	for _, c := range cases {
+		s := torus.MustNew(c.dims...)
+		lambdaB := 1.0
+		lambdaR := lambdaB * float64(s.Size()-1) / TotalDistance(s, ExactDistance)
+		sep, err := BroadcastOnly(s)
+		if err != nil {
+			t.Fatalf("%v: %v", c.dims, err)
+		}
+		mt := MaxThroughput(s, sep.X, lambdaB, lambdaR, ExactDistance)
+		if mt < c.lo || mt > c.hi {
+			t.Errorf("%v: separate-balancing MaxThroughput = %g, want in [%g, %g]", c.dims, mt, c.lo, c.hi)
+		}
+		// The jointly balanced vector restores MaxThroughput ~= 1 (for
+		// larger d the exact solution leaves the simplex and is clamped,
+		// costing a few percent — the paper's "most situations" caveat).
+		joint, err := Heterogeneous(s, lambdaB, lambdaR, ExactDistance)
+		if err != nil {
+			t.Fatalf("%v: %v", c.dims, err)
+		}
+		if mtj := MaxThroughput(s, joint.X, lambdaB, lambdaR, ExactDistance); mtj < c.jointWant {
+			t.Errorf("%v: joint MaxThroughput = %g, want >= %g", c.dims, mtj, c.jointWant)
+		}
+	}
+}
+
+func TestHeterogeneousInfeasibleClamps(t *testing.T) {
+	// Very asymmetric 2-D torus with dominant unicast traffic: Section 4
+	// says the solution becomes x0 > 1, x1 < 0 and should be replaced by
+	// (1, 0).
+	s := torus.MustNew(4, 32)
+	v, err := Heterogeneous(s, 0.001, 10, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Feasible {
+		t.Fatal("expected infeasible solution")
+	}
+	if math.Abs(v.X[0]-1) > 1e-9 || math.Abs(v.X[1]) > 1e-9 {
+		t.Errorf("clamped vector = %v, want [1 0]", v.X)
+	}
+}
+
+func TestHeterogeneousZeroBroadcast(t *testing.T) {
+	s := torus.MustNew(4, 8)
+	v, err := Heterogeneous(s, 0, 1, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Feasible || math.Abs(v.X[0]-0.5) > 1e-12 {
+		t.Errorf("zero-broadcast vector = %+v, want uniform", v)
+	}
+}
+
+func TestHeterogeneousNegativeRates(t *testing.T) {
+	s := torus.MustNew(4, 8)
+	if _, err := Heterogeneous(s, -1, 0, ExactDistance); err == nil {
+		t.Error("negative lambdaB should fail")
+	}
+	if _, err := Heterogeneous(s, 1, -1, ExactDistance); err == nil {
+		t.Error("negative lambdaR should fail")
+	}
+}
+
+func TestHeterogeneousFeasibleBalancesRandomShapes(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		d := 1 + rng.IntN(3)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + rng.IntN(7)
+		}
+		s := torus.MustNew(dims...)
+		lambdaB := 0.001 + rng.Float64()*0.01
+		lambdaR := rng.Float64() * lambdaB * float64(s.Size())
+		v, err := Heterogeneous(s, lambdaB, lambdaR, ExactDistance)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range v.X {
+			if x < -1e-9 || x > 1+1e-9 {
+				return false // clamped vectors must stay in the simplex
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return false
+		}
+		if !v.Feasible {
+			return true // clamped: balance not guaranteed
+		}
+		util := PredictedDimUtilization(s, v.X, lambdaB, lambdaR, ExactDistance)
+		for i := 1; i < len(util); i++ {
+			if math.Abs(util[i]-util[0]) > 1e-6*(util[0]+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampSimplex(t *testing.T) {
+	cases := []struct {
+		in, want []float64
+	}{
+		{[]float64{1.3, -0.3}, []float64{1, 0}},
+		{[]float64{0.5, 0.5}, []float64{0.5, 0.5}},
+		{[]float64{-1, -2, 6}, []float64{0, 0, 1}},
+		{[]float64{-1, -1}, []float64{0.5, 0.5}}, // degenerate: uniform
+		{[]float64{2, 2}, []float64{0.5, 0.5}},
+	}
+	for _, c := range cases {
+		got := ClampSimplex(c.in)
+		for i := range c.want {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Errorf("ClampSimplex(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestClampSimplexAlwaysValid(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		out := ClampSimplex(raw)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 || v > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	v := Uniform(4)
+	if !v.Feasible || len(v.X) != 4 {
+		t.Fatal("Uniform(4) malformed")
+	}
+	for _, x := range v.X {
+		if x != 0.25 {
+			t.Errorf("Uniform entry = %g", x)
+		}
+	}
+}
+
+func TestDistanceModels(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	if got := DimDistance(s, 0, PaperFloorDistance); got != 2 {
+		t.Errorf("floor model = %g, want 2", got)
+	}
+	exact := DimDistance(s, 0, ExactDistance)
+	want := 64.0 * 16 / (8 * 63) // N * rdsum / (n * (N-1))
+	if math.Abs(exact-want) > 1e-12 {
+		t.Errorf("exact model = %g, want %g", exact, want)
+	}
+	if got := TotalDistance(s, PaperFloorDistance); got != 4 {
+		t.Errorf("TotalDistance floor = %g, want 4", got)
+	}
+}
+
+func TestPredictedDimUtilizationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length vector should panic")
+		}
+	}()
+	PredictedDimUtilization(torus.MustNew(4, 4), []float64{1}, 1, 0, ExactDistance)
+}
+
+func TestMaxThroughputZeroLoad(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	if mt := MaxThroughput(s, []float64{0.5, 0.5}, 0, 0, ExactDistance); !math.IsInf(mt, 1) {
+		t.Errorf("zero-load MaxThroughput = %g, want +Inf", mt)
+	}
+}
+
+// TestHypercubeVectorUniform: the 2-ary d-cube (hypercube) is symmetric, so
+// Eq. (2) must give the uniform vector even with the single-link 2-ring
+// handling.
+func TestHypercubeVectorUniform(t *testing.T) {
+	s, err := torus.Hypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := BroadcastOnly(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range v.X {
+		if math.Abs(x-1.0/6) > 1e-9 {
+			t.Errorf("hypercube vector = %v, want uniform", v.X)
+		}
+	}
+}
+
+func TestClampTiny(t *testing.T) {
+	x := []float64{-1e-12, 0.5, 1 + 1e-12}
+	clampTiny(x)
+	if x[0] != 0 || x[1] != 0.5 || x[2] != 1 {
+		t.Errorf("clampTiny = %v", x)
+	}
+}
+
+// TestCoeffMixedTwoRings: Eq. (1) with 2-ring dimensions (hypercube-like
+// factors) still sums to N-1 per column and matches the tree enumeration
+// invariants used elsewhere.
+func TestCoeffMixedTwoRings(t *testing.T) {
+	s := torus.MustNew(2, 5, 2)
+	for l := 0; l < 3; l++ {
+		sum := 0
+		for i := 0; i < 3; i++ {
+			sum += Coeff(s, i, l)
+		}
+		if sum != s.Size()-1 {
+			t.Errorf("ending %d: column sum %d, want %d", l, sum, s.Size()-1)
+		}
+	}
+	// ending 2 => order (0,1,2): a = 1, 4*2 = 8, 1*10 = 10.
+	if Coeff(s, 0, 2) != 1 || Coeff(s, 1, 2) != 8 || Coeff(s, 2, 2) != 10 {
+		t.Errorf("2-ring coefficients: %d %d %d",
+			Coeff(s, 0, 2), Coeff(s, 1, 2), Coeff(s, 2, 2))
+	}
+}

@@ -1,0 +1,115 @@
+// Package cli holds the argument-parsing helpers shared by the command-line
+// tools (starsim, figures, balance).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"prioritystar/internal/sweep"
+	"prioritystar/internal/traffic"
+)
+
+// Schemes maps CLI names to the predefined scheme specifications.
+var Schemes = map[string]sweep.SchemeSpec{
+	"priority-star":   sweep.PrioritySTARSpec,
+	"priority-star-3": sweep.PrioritySTAR3Spec,
+	"fcfs-direct":     sweep.FCFSDirectSpec,
+	"dim-order":       sweep.DimOrderSpec,
+	"separate-fcfs":   sweep.SeparateSpec,
+	"separate-prio":   sweep.SeparatePrioSpec,
+}
+
+// SchemeNames returns the known scheme names, comma separated, for usage
+// strings.
+func SchemeNames() string {
+	names := make([]string, 0, len(Schemes))
+	for n := range Schemes {
+		names = append(names, n)
+	}
+	// Stable order for usage text.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// SchemeByName resolves a CLI scheme name.
+func SchemeByName(name string) (sweep.SchemeSpec, error) {
+	spec, ok := Schemes[name]
+	if !ok {
+		return sweep.SchemeSpec{}, fmt.Errorf("unknown scheme %q (known: %s)", name, SchemeNames())
+	}
+	return spec, nil
+}
+
+// ParseShape parses "4x4x8" into dimension lengths.
+func ParseShape(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad shape %q: %v", s, err)
+		}
+		dims = append(dims, n)
+	}
+	return dims, nil
+}
+
+// ParseLength parses "fixed:N" or "geom:MEAN" into a length distribution.
+func ParseLength(s string) (traffic.LengthDist, error) {
+	kind, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return traffic.LengthDist{}, fmt.Errorf("bad length %q: want fixed:N or geom:MEAN", s)
+	}
+	switch kind {
+	case "fixed":
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return traffic.LengthDist{}, fmt.Errorf("bad fixed length %q", arg)
+		}
+		return traffic.FixedLength(n), nil
+	case "geom":
+		mean, err := strconv.ParseFloat(arg, 64)
+		if err != nil || mean < 1 {
+			return traffic.LengthDist{}, fmt.Errorf("bad geometric mean %q", arg)
+		}
+		return traffic.GeometricLength(mean), nil
+	default:
+		return traffic.LengthDist{}, fmt.Errorf("unknown length kind %q (want fixed or geom)", kind)
+	}
+}
+
+// ParseRhos parses a comma-separated throughput-factor grid.
+func ParseRhos(s string) ([]float64, error) {
+	var rhos []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rho %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative rho %g", v)
+		}
+		rhos = append(rhos, v)
+	}
+	return rhos, nil
+}
+
+// ParseScale parses a predefined-experiment scale name.
+func ParseScale(s string) (sweep.Scale, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return sweep.Quick, nil
+	case "standard":
+		return sweep.Standard, nil
+	case "full":
+		return sweep.Full, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want quick, standard, or full)", s)
+	}
+}

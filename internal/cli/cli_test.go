@@ -1,0 +1,92 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"prioritystar/internal/sweep"
+)
+
+func TestParseShape(t *testing.T) {
+	dims, err := ParseShape("4x4x8")
+	if err != nil || len(dims) != 3 || dims[0] != 4 || dims[2] != 8 {
+		t.Errorf("ParseShape(4x4x8) = %v, %v", dims, err)
+	}
+	dims, err = ParseShape("16X16") // case-insensitive
+	if err != nil || len(dims) != 2 || dims[0] != 16 {
+		t.Errorf("ParseShape(16X16) = %v, %v", dims, err)
+	}
+	if _, err := ParseShape("4xbad"); err == nil {
+		t.Error("bad dimension should fail")
+	}
+	if _, err := ParseShape(""); err == nil {
+		t.Error("empty shape should fail")
+	}
+	dims, err = ParseShape(" 8 x 8 ")
+	if err != nil || dims[0] != 8 {
+		t.Errorf("whitespace shape = %v, %v", dims, err)
+	}
+}
+
+func TestParseLength(t *testing.T) {
+	d, err := ParseLength("fixed:3")
+	if err != nil || d.Mean() != 3 {
+		t.Errorf("fixed:3 = %v, %v", d, err)
+	}
+	d, err = ParseLength("geom:4.5")
+	if err != nil || d.Mean() != 4.5 {
+		t.Errorf("geom:4.5 = %v, %v", d, err)
+	}
+	for _, bad := range []string{"fixed", "fixed:0", "fixed:x", "geom:0.5", "geom:x", "weird:3"} {
+		if _, err := ParseLength(bad); err == nil {
+			t.Errorf("ParseLength(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRhos(t *testing.T) {
+	rhos, err := ParseRhos("0.1, 0.5 ,0.9")
+	if err != nil || len(rhos) != 3 || rhos[1] != 0.5 {
+		t.Errorf("ParseRhos = %v, %v", rhos, err)
+	}
+	if _, err := ParseRhos("0.1,huh"); err == nil {
+		t.Error("bad rho should fail")
+	}
+	if _, err := ParseRhos("-0.5"); err == nil {
+		t.Error("negative rho should fail")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]sweep.Scale{
+		"quick": sweep.Quick, "Standard": sweep.Standard, "FULL": sweep.Full,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	spec, err := SchemeByName("priority-star")
+	if err != nil || spec.Name != sweep.PrioritySTARSpec.Name {
+		t.Errorf("SchemeByName = %+v, %v", spec, err)
+	}
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Error("unknown scheme should fail")
+	}
+	names := SchemeNames()
+	for name := range Schemes {
+		if !strings.Contains(names, name) {
+			t.Errorf("SchemeNames missing %q", name)
+		}
+	}
+	// Sorted output.
+	if !strings.HasPrefix(names, "dim-order") {
+		t.Errorf("SchemeNames not sorted: %q", names)
+	}
+}

@@ -1,0 +1,283 @@
+// Package finite is a finite-buffer store-and-forward engine with virtual
+// channels and credit backpressure. It exists to validate the deadlock
+// dimension of the paper's Section 3.1, which the main simulator (unbounded
+// queues, where deadlock is impossible) cannot exercise: wraparound rings
+// with finite buffers deadlock under minimal routing unless a second
+// virtual channel splits the cyclic buffer dependency at a dateline — the
+// same VC1/VC2 construction the SDC broadcast algorithm prescribes.
+//
+// The engine routes unicast packets dimension-ordered along shortest ring
+// paths. Each directed link has, per virtual channel, a receive buffer of
+// Capacity packets; a transmission starts only when the link is idle and a
+// credit (free slot) is available in the target buffer. The dateline rule
+// assigns VC 0 to a packet entering a dimension and switches it to VC 1
+// when its hop crosses the ring's wraparound edge; since minimal paths
+// cross at most once and dimension transitions strictly increase the
+// dimension index, the buffer-class dependency graph is acyclic and the
+// 2-VC configuration is deadlock-free. With a single VC the dependency
+// cycle around a ring is intact and the engine detects deadlock (no
+// forward progress while packets remain).
+package finite
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"prioritystar/internal/core"
+	"prioritystar/internal/queue"
+	"prioritystar/internal/stats"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// Flow is a preloaded unicast demand injected at slot 0.
+type Flow struct {
+	Src, Dst torus.Node
+	// TieMask overrides the random tie-breaking (bit per dimension).
+	TieMask uint32
+}
+
+// Config describes one finite-buffer run.
+type Config struct {
+	Shape *torus.Shape
+	// VCs is the number of virtual channels per link (1 or 2).
+	VCs int
+	// Capacity is the per-(link, VC) receive-buffer size in packets.
+	Capacity int
+	// LambdaR is the per-node Poisson unicast arrival rate.
+	LambdaR float64
+	// Preload is injected at slot 0 before any Poisson traffic.
+	Preload []Flow
+	Seed    uint64
+	// Slots is the simulation horizon.
+	Slots int64
+	// StopInjection stops Poisson arrivals after this slot (0 = never),
+	// letting drain tests verify that the network empties.
+	StopInjection int64
+	// DetectWindow flags deadlock after this many consecutive slots
+	// without any transmission or delivery while packets remain queued
+	// (default 512).
+	DetectWindow int64
+}
+
+func (c *Config) validate() error {
+	if c.Shape == nil {
+		return fmt.Errorf("finite: nil shape")
+	}
+	if c.VCs != 1 && c.VCs != 2 {
+		return fmt.Errorf("finite: VCs must be 1 or 2, got %d", c.VCs)
+	}
+	if c.Capacity < 1 {
+		return fmt.Errorf("finite: Capacity must be >= 1, got %d", c.Capacity)
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("finite: Slots must be positive")
+	}
+	if c.LambdaR < 0 {
+		return fmt.Errorf("finite: negative arrival rate")
+	}
+	return nil
+}
+
+// Result reports a finite-buffer run.
+type Result struct {
+	Injected  int64
+	Delivered int64
+	Delay     stats.Welford // end-to-end delays of delivered packets
+	// Deadlocked is true when no progress was made for DetectWindow slots
+	// while packets remained; DeadlockSlot is the slot of the last
+	// progress event.
+	Deadlocked   bool
+	DeadlockSlot int64
+	// Remaining counts packets still in the network or source queues at
+	// the end of the run.
+	Remaining int64
+}
+
+// packet is one unicast packet in the finite-buffer network.
+type packet struct {
+	birth    int64
+	dest     torus.Node
+	tieMask  uint32
+	heldLink torus.LinkID // buffer the packet occupies (-1 = source queue)
+	heldVC   int8
+	nextVC   int8 // VC (and buffer) of its next hop
+	dim      int8 // dimension of the next hop
+}
+
+type arrival struct {
+	link torus.LinkID
+	vc   int8
+	pkt  packet
+}
+
+type engine struct {
+	cfg Config
+	s   *torus.Shape
+	rng *rand.Rand
+	res *Result
+
+	occupancy [][2]int             // per link slot, per VC
+	busy      []bool               // link transmitting this slot
+	outq      []queue.FIFO[packet] // per (link slot * VCs + vc)
+	arrivals  []arrival            // packets in flight, landing next slot
+	next      []arrival
+	inFlight  int64
+	queued    int64
+	lastMove  int64
+}
+
+// Run executes one finite-buffer simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DetectWindow == 0 {
+		cfg.DetectWindow = 512
+	}
+	s := cfg.Shape
+	e := &engine{
+		cfg:       cfg,
+		s:         s,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0xf171e)),
+		res:       &Result{},
+		occupancy: make([][2]int, s.LinkSlots()),
+		busy:      make([]bool, s.LinkSlots()),
+		outq:      make([]queue.FIFO[packet], s.LinkSlots()*cfg.VCs),
+	}
+	for _, f := range cfg.Preload {
+		e.inject(0, f.Src, f.Dst, f.TieMask)
+	}
+	for t := int64(0); t < cfg.Slots; t++ {
+		e.deliver(t)
+		if cfg.LambdaR > 0 && (cfg.StopInjection == 0 || t < cfg.StopInjection) {
+			for i := traffic.Poisson(e.rng, cfg.LambdaR*float64(s.Size())); i > 0; i-- {
+				src := torus.Node(e.rng.IntN(s.Size()))
+				e.inject(t, src, traffic.UniformDest(e.rng, s, src), core.SampleTieMask(e.rng, s.Dims()))
+			}
+		}
+		e.service(t)
+		if e.queued+e.inFlight == 0 {
+			e.lastMove = t
+			continue
+		}
+		if e.inFlight == 0 && t-e.lastMove >= cfg.DetectWindow {
+			e.res.Deadlocked = true
+			e.res.DeadlockSlot = e.lastMove
+			break
+		}
+	}
+	e.res.Remaining = e.queued + e.inFlight
+	return e.res, nil
+}
+
+// routeVC computes the next hop of pkt from node u and the buffer class it
+// will occupy there, applying the dateline rule.
+func (e *engine) route(u torus.Node, pkt *packet) (link torus.LinkID, done bool) {
+	dim, dir, done := core.UnicastNextHop(e.s, u, pkt.dest, pkt.tieMask)
+	if done {
+		return 0, true
+	}
+	vc := int8(0)
+	if int8(dim) == pkt.dim {
+		vc = pkt.nextVC // stays on its current ring VC...
+	}
+	if e.cfg.VCs > 1 && crosses(e.s, u, dim, dir) {
+		vc = 1
+	}
+	if e.cfg.VCs == 1 {
+		vc = 0
+	}
+	pkt.dim = int8(dim)
+	pkt.nextVC = vc
+	return e.s.Link(u, dim, dir), false
+}
+
+// crosses reports whether the hop from u along dim in direction dir
+// traverses the ring's wraparound edge (the dateline).
+func crosses(s *torus.Shape, u torus.Node, dim int, dir torus.Dir) bool {
+	c := s.Coord(u, dim)
+	if dir == torus.Plus {
+		return c == s.Dim(dim)-1
+	}
+	return c == 0
+}
+
+// inject places a new packet into the source's output queue (source queues
+// are outside the network and unbounded, the standard injection model).
+func (e *engine) inject(t int64, src, dst torus.Node, tieMask uint32) {
+	if src == dst {
+		return
+	}
+	pkt := packet{birth: t, dest: dst, tieMask: tieMask, heldLink: -1, heldVC: -1, dim: -1}
+	link, done := e.route(src, &pkt)
+	if done {
+		return
+	}
+	e.enqueue(link, pkt)
+	e.res.Injected++
+}
+
+func (e *engine) enqueue(link torus.LinkID, pkt packet) {
+	e.outq[int(link)*e.cfg.VCs+int(pkt.nextVC)].Push(pkt)
+	e.queued++
+}
+
+// deliver processes last slot's arrivals: frees the buffers the packets
+// held, consumes packets at their destinations, and requeues the rest.
+func (e *engine) deliver(t int64) {
+	e.arrivals, e.next = e.next, e.arrivals[:0]
+	for i := range e.arrivals {
+		a := &e.arrivals[i]
+		e.inFlight--
+		e.busy[a.link] = false
+		pkt := a.pkt
+		if pkt.heldLink >= 0 {
+			e.occupancy[pkt.heldLink][pkt.heldVC]--
+		}
+		node := e.s.LinkDst(a.link)
+		if node == pkt.dest {
+			e.occupancy[a.link][a.vc]-- // ejection frees the buffer at once
+			e.res.Delivered++
+			e.res.Delay.Add(float64(t - pkt.birth))
+			e.lastMove = t
+			continue
+		}
+		pkt.heldLink = a.link
+		pkt.heldVC = a.vc
+		link, _ := e.route(node, &pkt)
+		e.enqueue(link, pkt)
+	}
+	e.arrivals = e.arrivals[:0]
+}
+
+// service starts transmissions: for every idle link, the first VC queue (in
+// round-robin starting from the slot parity) whose head has a credit in the
+// target buffer transmits one packet.
+func (e *engine) service(t int64) {
+	vcs := e.cfg.VCs
+	for l := 0; l < e.s.LinkSlots(); l++ {
+		if e.busy[l] {
+			continue
+		}
+		start := int(t) % vcs
+		for k := 0; k < vcs; k++ {
+			vc := (start + k) % vcs
+			q := &e.outq[l*vcs+vc]
+			if q.Len() == 0 {
+				continue
+			}
+			if e.occupancy[l][vc] >= e.cfg.Capacity {
+				continue // no credit on this VC
+			}
+			pkt, _ := q.Pop()
+			e.queued--
+			e.occupancy[l][vc]++ // reserve the receive buffer
+			e.busy[l] = true
+			e.inFlight++
+			e.next = append(e.next, arrival{link: torus.LinkID(l), vc: int8(vc), pkt: pkt})
+			e.lastMove = t
+			break
+		}
+	}
+}

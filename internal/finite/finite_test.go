@@ -1,0 +1,186 @@
+package finite
+
+import (
+	"testing"
+
+	"prioritystar/internal/torus"
+)
+
+func TestConfigValidation(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	good := Config{Shape: s, VCs: 2, Capacity: 2, Slots: 100}
+	muts := []func(*Config){
+		func(c *Config) { c.Shape = nil },
+		func(c *Config) { c.VCs = 0 },
+		func(c *Config) { c.VCs = 3 },
+		func(c *Config) { c.Capacity = 0 },
+		func(c *Config) { c.Slots = 0 },
+		func(c *Config) { c.LambdaR = -1 },
+	}
+	for i, mut := range muts {
+		c := good
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+// TestDeterministicRingDeadlock constructs the classic store-and-forward
+// deadlock: on a 4-ring with capacity-1 buffers and a single VC, four
+// packets each destined two hops clockwise fill every buffer and block each
+// other in a cycle. With two VCs and the dateline rule, the same workload
+// completes.
+func TestDeterministicRingDeadlock(t *testing.T) {
+	s := torus.MustNew(4)
+	preload := []Flow{}
+	for i := 0; i < 4; i++ {
+		preload = append(preload, Flow{
+			Src: torus.Node(i), Dst: torus.Node((i + 2) % 4), TieMask: 0, // all clockwise
+		})
+	}
+	oneVC, err := Run(Config{Shape: s, VCs: 1, Capacity: 1, Preload: preload, Slots: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oneVC.Deadlocked {
+		t.Fatalf("1 VC should deadlock: %+v", oneVC)
+	}
+	if oneVC.Delivered != 0 {
+		t.Errorf("deadlocked run delivered %d packets", oneVC.Delivered)
+	}
+
+	twoVC, err := Run(Config{Shape: s, VCs: 2, Capacity: 1, Preload: preload, Slots: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoVC.Deadlocked {
+		t.Fatal("2 VCs must not deadlock")
+	}
+	if twoVC.Delivered != 4 || twoVC.Remaining != 0 {
+		t.Errorf("2 VCs: delivered %d, remaining %d; want 4, 0", twoVC.Delivered, twoVC.Remaining)
+	}
+}
+
+// TestRandomLoadOneVCDeadlocks: sustained random traffic through tiny
+// buffers on a ring deadlocks with one VC for most seeds.
+func TestRandomLoadOneVCDeadlocks(t *testing.T) {
+	s := torus.MustNew(6)
+	deadlocks := 0
+	const seeds = 8
+	for seed := uint64(1); seed <= seeds; seed++ {
+		res, err := Run(Config{
+			Shape: s, VCs: 1, Capacity: 1, LambdaR: 0.4, Seed: seed, Slots: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			deadlocks++
+		}
+	}
+	if deadlocks < seeds/2 {
+		t.Errorf("only %d/%d seeds deadlocked with 1 VC; expected most", deadlocks, seeds)
+	}
+}
+
+// TestRandomLoadTwoVCsNeverDeadlock: the dateline construction keeps the
+// network deadlock-free and fully drains after injection stops.
+func TestRandomLoadTwoVCsNeverDeadlock(t *testing.T) {
+	for _, dims := range [][]int{{6}, {4, 4}, {4, 6}} {
+		s := torus.MustNew(dims...)
+		for seed := uint64(1); seed <= 4; seed++ {
+			res, err := Run(Config{
+				Shape: s, VCs: 2, Capacity: 1, LambdaR: 0.4, Seed: seed,
+				Slots: 30000, StopInjection: 20000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deadlocked {
+				t.Fatalf("%v seed %d: 2 VCs deadlocked at slot %d", dims, seed, res.DeadlockSlot)
+			}
+			if res.Remaining != 0 {
+				t.Errorf("%v seed %d: %d packets stuck after drain", dims, seed, res.Remaining)
+			}
+			if res.Delivered != res.Injected {
+				t.Errorf("%v seed %d: delivered %d != injected %d", dims, seed, res.Delivered, res.Injected)
+			}
+		}
+	}
+}
+
+// TestDelaysSaneUnderBackpressure: with ample buffers and light load the
+// finite engine's delays approach the unconstrained shortest-path values.
+func TestDelaysSaneUnderBackpressure(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	res, err := Run(Config{
+		Shape: s, VCs: 2, Capacity: 8, LambdaR: 0.02, Seed: 9,
+		Slots: 20000, StopInjection: 15000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocked || res.Remaining != 0 {
+		t.Fatalf("light load should drain cleanly: %+v", res)
+	}
+	want := s.AvgDistance()
+	if got := res.Delay.Mean(); got < want-0.3 || got > want+1.0 {
+		t.Errorf("light-load delay %g, want ~%g", got, want)
+	}
+}
+
+// TestCapacityRelievesBlocking: larger buffers reduce average delay at
+// moderate load (backpressure is doing something measurable).
+func TestCapacityRelievesBlocking(t *testing.T) {
+	s := torus.MustNew(6, 6)
+	run := func(cap int) float64 {
+		res, err := Run(Config{
+			Shape: s, VCs: 2, Capacity: cap, LambdaR: 0.3, Seed: 4,
+			Slots: 20000, StopInjection: 15000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deadlocked {
+			t.Fatalf("capacity %d deadlocked", cap)
+		}
+		return res.Delay.Mean()
+	}
+	tight := run(1)
+	roomy := run(16)
+	if roomy >= tight {
+		t.Errorf("capacity 16 delay %g should beat capacity 1 delay %g", roomy, tight)
+	}
+}
+
+// TestSelfDestinationIgnored: preloading a self-flow is a no-op.
+func TestSelfDestinationIgnored(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	res, err := Run(Config{
+		Shape: s, VCs: 2, Capacity: 1, Slots: 100,
+		Preload: []Flow{{Src: 3, Dst: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected != 0 {
+		t.Errorf("self flow should not inject, got %d", res.Injected)
+	}
+}
+
+func TestCrosses(t *testing.T) {
+	s := torus.MustNew(5, 5)
+	if !crosses(s, s.Node([]int{4, 0}), 0, torus.Plus) {
+		t.Error("hop 4->0 in + direction crosses")
+	}
+	if crosses(s, s.Node([]int{3, 0}), 0, torus.Plus) {
+		t.Error("hop 3->4 does not cross")
+	}
+	if !crosses(s, s.Node([]int{0, 2}), 0, torus.Minus) {
+		t.Error("hop 0->4 in - direction crosses")
+	}
+	if crosses(s, s.Node([]int{1, 2}), 0, torus.Minus) {
+		t.Error("hop 1->0 does not cross")
+	}
+}

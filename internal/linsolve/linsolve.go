@@ -1,0 +1,140 @@
+// Package linsolve provides a small dense linear-system solver used to
+// compute the STAR ending-dimension probability vectors (paper Eq. 2 and
+// Eq. 4). The systems are d x d where d is the torus dimensionality, so a
+// straightforward Gaussian elimination with partial pivoting is both exact
+// enough and fast.
+package linsolve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the coefficient matrix is (numerically)
+// singular.
+var ErrSingular = errors.New("linsolve: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	n := NewMatrix(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linsolve: vector length %d != cols %d", len(x), m.Cols)
+	}
+	y := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		sum := 0.0
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, v := range row {
+			sum += v * x[c]
+		}
+		y[r] = sum
+	}
+	return y, nil
+}
+
+// Solve solves the square system a*x = b by Gaussian elimination with
+// partial pivoting. a and b are left unmodified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linsolve: matrix is %dx%d, need square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: rhs length %d != %d", len(b), n)
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	rhs := make([]float64, n)
+	copy(rhs, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |value| in this column at or below the
+		// diagonal.
+		pivot := col
+		maxAbs := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m.At(r, col)); abs > maxAbs {
+				maxAbs, pivot = abs, r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(m, pivot, col)
+			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m.Set(r, c, m.At(r, c)-f*m.At(col, c))
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := rhs[r]
+		for c := r + 1; c < n; c++ {
+			sum -= m.At(r, c) * x[c]
+		}
+		x[r] = sum / m.At(r, r)
+	}
+	return x, nil
+}
+
+func swapRows(m *Matrix, r1, r2 int) {
+	a := m.Data[r1*m.Cols : (r1+1)*m.Cols]
+	b := m.Data[r2*m.Cols : (r2+1)*m.Cols]
+	for i := range a {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// Residual returns the max-norm of a*x - b, a cheap a-posteriori check that
+// callers use to validate solutions of the balance systems.
+func Residual(a *Matrix, x, b []float64) (float64, error) {
+	y, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != len(y) {
+		return 0, fmt.Errorf("linsolve: rhs length %d != rows %d", len(b), len(y))
+	}
+	max := 0.0
+	for i := range y {
+		if r := math.Abs(y[i] - b[i]); r > max {
+			max = r
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,165 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func matFromRows(rows [][]float64) *Matrix {
+	m := NewMatrix(len(rows), len(rows[0]))
+	for r, row := range rows {
+		for c, v := range row {
+			m.Set(r, c, v)
+		}
+	}
+	return m
+}
+
+func TestSolveIdentity(t *testing.T) {
+	m := matFromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	b := []float64{3, -1, 7}
+	x, err := Solve(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 => x = 1, y = 3.
+	m := matFromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(m, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	m := matFromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(m, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := matFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(m, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square matrix should fail")
+	}
+	if _, err := Solve(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("wrong rhs length should fail")
+	}
+}
+
+func TestSolveLeavesInputsUntouched(t *testing.T) {
+	m := matFromRows([][]float64{{4, 1}, {2, 3}})
+	orig := m.Clone()
+	b := []float64{1, 2}
+	if _, err := Solve(m, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if m.Data[i] != orig.Data[i] {
+			t.Fatal("Solve modified the matrix")
+		}
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve modified the rhs")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := matFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := m.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestResidual(t *testing.T) {
+	m := matFromRows([][]float64{{2, 0}, {0, 2}})
+	r, err := Residual(m, []float64{1, 1}, []float64{2, 2})
+	if err != nil || r != 0 {
+		t.Errorf("residual = %g, err %v", r, err)
+	}
+	r, err = Residual(m, []float64{1, 1}, []float64{2, 3})
+	if err != nil || r != 1 {
+		t.Errorf("residual = %g, err %v, want 1", r, err)
+	}
+	if _, err := Residual(m, []float64{1}, []float64{2, 2}); err == nil {
+		t.Error("bad x length should fail")
+	}
+	if _, err := Residual(m, []float64{1, 1}, []float64{2}); err == nil {
+		t.Error("bad b length should fail")
+	}
+}
+
+func TestAtSetClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 5)
+	if m.At(1, 0) != 5 {
+		t.Error("At/Set failed")
+	}
+	c := m.Clone()
+	c.Set(1, 0, 9)
+	if m.At(1, 0) != 5 {
+		t.Error("Clone is shallow")
+	}
+}
+
+// TestQuickRandomSystems verifies Solve on random well-conditioned systems
+// by checking the residual.
+func TestQuickRandomSystems(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + rng.IntN(8)
+		m := NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				m.Set(r, c, rng.Float64()*2-1)
+			}
+			// Diagonal dominance keeps the system well conditioned.
+			m.Set(r, r, m.At(r, r)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.Float64()*10 - 5
+		}
+		x, err := Solve(m, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(m, x, b)
+		return err == nil && res < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

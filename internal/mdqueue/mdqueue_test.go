@@ -1,0 +1,129 @@
+package mdqueue
+
+import (
+	"math"
+	"testing"
+
+	"prioritystar/internal/analysis"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Lambda: nil, Measure: 10},
+		{Lambda: []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}, Measure: 10},
+		{Lambda: []float64{-0.1}, Measure: 10},
+		{Lambda: []float64{0.5}, Measure: 0},
+		{Lambda: []float64{1.1}, Measure: 10},           // unstable
+		{Lambda: []float64{0.4}, Batch: 3, Measure: 10}, // batch load 1.2
+		{Lambda: []float64{0.4}, Batch: -1, Measure: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+// TestMD1WaitMatchesFormula: simulated single-class Poisson/deterministic
+// waits match the paper's W = rho/(2(1-rho)) across loads.
+func TestMD1WaitMatchesFormula(t *testing.T) {
+	for _, rho := range []float64{0.2, 0.5, 0.8, 0.9} {
+		res, err := Run(Config{
+			Lambda: []float64{rho}, Seed: 7, Warmup: 20000, Measure: 800000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := analysis.MD1Wait(rho)
+		got := res.All.Mean()
+		if math.Abs(got-want) > 0.05*want+0.03 {
+			t.Errorf("rho=%g: simulated wait %.4f, formula %.4f", rho, got, want)
+		}
+	}
+}
+
+// TestGD1BatchWaitMatchesFormula: batch arrivals have variance
+// V = batch * rho, so W = V/(2 rho (1-rho)) - 1/2 = batch/(2(1-rho)) - 1/2.
+func TestGD1BatchWaitMatchesFormula(t *testing.T) {
+	const batch = 4
+	for _, rho := range []float64{0.4, 0.8} {
+		res, err := Run(Config{
+			Lambda: []float64{rho / batch}, Batch: batch,
+			Seed: 8, Warmup: 20000, Measure: 800000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := analysis.GD1Wait(rho, batch*rho)
+		got := res.All.Mean()
+		if math.Abs(got-want) > 0.06*want+0.05 {
+			t.Errorf("rho=%g batch=%d: simulated wait %.4f, formula %.4f", rho, batch, got, want)
+		}
+	}
+}
+
+// TestHighPriorityWaitSmall reproduces the Section 3.2 structure: when the
+// high-priority class carries a 1/n fraction of a rho = 0.9 load (n = 8),
+// its wait is O(1/n) while the low-priority class absorbs the queueing.
+func TestHighPriorityWaitSmall(t *testing.T) {
+	const rho, n = 0.9, 8.0
+	res, err := Run(Config{
+		Lambda: []float64{rho / n, rho * (n - 1) / n},
+		Seed:   9, Warmup: 20000, Measure: 800000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := res.Wait[0].Mean()
+	low := res.Wait[1].Mean()
+	bound := analysis.HighPriorityWaitBound(rho, int(n))
+	// The bound treats the high class in isolation; head-of-line blocking
+	// by an in-service low packet adds at most one residual slot fraction.
+	if high > bound+1.0 {
+		t.Errorf("high-priority wait %.4f far above isolated bound %.4f", high, bound)
+	}
+	if high > 1.0 {
+		t.Errorf("high-priority wait %.4f should be O(1) small", high)
+	}
+	if low < 3 {
+		t.Errorf("low-priority wait %.4f should carry the rho=0.9 queueing", low)
+	}
+}
+
+// TestConservationLaw: with identical total arrivals and unit service, the
+// aggregate mean wait is the same under FCFS and under a 2-class priority
+// discipline (Kleinrock's conservation law, the paper's Section 3.2
+// argument that priorities redistribute rather than create waiting).
+func TestConservationLaw(t *testing.T) {
+	const rho = 0.8
+	fcfs, err := Run(Config{Lambda: []float64{rho}, Seed: 10, Warmup: 20000, Measure: 600000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := Run(Config{Lambda: []float64{rho / 4, 3 * rho / 4}, Seed: 10, Warmup: 20000, Measure: 600000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := fcfs.All.Mean(), prio.All.Mean()
+	if math.Abs(a-b) > 0.06*a+0.03 {
+		t.Errorf("conservation violated: FCFS %.4f vs priority aggregate %.4f", a, b)
+	}
+	// And the priority classes are strictly ordered.
+	if prio.Wait[0].Mean() >= prio.Wait[1].Mean() {
+		t.Error("class 0 should wait less than class 1")
+	}
+}
+
+// TestZeroLoadClassesServed: classes with zero rate record nothing.
+func TestZeroLoadClassesServed(t *testing.T) {
+	res, err := Run(Config{Lambda: []float64{0, 0.3}, Seed: 2, Warmup: 100, Measure: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wait[0].Count() != 0 {
+		t.Error("empty class should record no waits")
+	}
+	if res.Wait[1].Count() == 0 || res.Served == 0 {
+		t.Error("loaded class should be served")
+	}
+}

@@ -1,0 +1,159 @@
+// Package plot renders small ASCII line charts so the figure-regeneration
+// command can show the paper's curves directly in a terminal or a text
+// file, alongside the numeric tables. Charts are deliberately simple:
+// linear axes, one mark per series, nearest-cell rasterization.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a configurable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 56)
+	Height int // plot-area rows (default 16)
+	series []Series
+	// YMax caps the vertical axis (0 = auto). Useful when saturated points
+	// dwarf the interesting region.
+	YMax float64
+}
+
+// marks are assigned to series in order.
+var marks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; X and Y must have equal length. Non-finite values
+// are skipped at render time.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w <= 0 {
+		w = 56
+	}
+	if h <= 0 {
+		h = 16
+	}
+	return w, h
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if c.YMax > 0 && y > c.YMax {
+				y = c.YMax
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Anchor the y axis near zero when the data starts low.
+	if ymin > 0 && ymin < ymax/2 {
+		ymin = 0
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Render draws the chart as a multi-line string.
+func (c *Chart) Render() string {
+	w, h := c.dims()
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if !ok {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			clipped := false
+			if c.YMax > 0 && y > c.YMax {
+				y, clipped = c.YMax, true
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			if clipped {
+				grid[row][col] = '^'
+			} else if grid[row][col] == ' ' || grid[row][col] == mark {
+				grid[row][col] = mark
+			} else {
+				grid[row][col] = '!' // collision between series
+			}
+		}
+	}
+
+	yLab := c.YLabel
+	if yLab != "" {
+		fmt.Fprintf(&b, "  %s\n", yLab)
+	}
+	for r := 0; r < h; r++ {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%9.2f |%s\n", yVal, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%9s  %-*.3g%*.3g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%9s  %s\n", "", center(c.XLabel, w))
+	}
+	for si, s := range c.series {
+		fmt.Fprintf(&b, "%9s  %c = %s\n", "", marks[si%len(marks)], s.Name)
+	}
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAddLengthMismatch(t *testing.T) {
+	var c Chart
+	if err := c.Add(Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "no data") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderAllNonFinite(t *testing.T) {
+	var c Chart
+	if err := c.Add(Series{Name: "nan", X: []float64{1}, Y: []float64{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.Render(), "no data") {
+		t.Error("all-NaN series should render as no data")
+	}
+}
+
+func TestRenderBasicShape(t *testing.T) {
+	c := Chart{Title: "delay vs rho", XLabel: "rho", YLabel: "slots", Width: 40, Height: 10}
+	if err := c.Add(Series{
+		Name: "prio",
+		X:    []float64{0.1, 0.5, 0.9},
+		Y:    []float64{4, 5, 11},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{
+		Name: "fcfs",
+		X:    []float64{0.1, 0.5, 0.9},
+		Y:    []float64{4.2, 5.5, 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	for _, want := range []string{"delay vs rho", "rho", "slots", "* = prio", "o = fcfs", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Marks for both series appear.
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	// The plot area has exactly Height rows with the axis character.
+	if got := strings.Count(out, "|"); got != 10 {
+		t.Errorf("plot rows = %d, want 10:\n%s", got, out)
+	}
+}
+
+func TestRenderMonotoneCurvePlacement(t *testing.T) {
+	// A strictly increasing curve: the highest y lands on the top row,
+	// the lowest near the bottom.
+	c := Chart{Width: 20, Height: 8}
+	if err := c.Add(Series{Name: "s", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l[strings.Index(l, "|")+1:])
+		}
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if !strings.Contains(rows[0], "*") {
+		t.Error("max point should be on the top row")
+	}
+	if !strings.Contains(rows[len(rows)-1], "*") {
+		t.Error("min point should be on the bottom row")
+	}
+	// Columns increase left to right.
+	first := strings.Index(rows[len(rows)-1], "*")
+	last := strings.Index(rows[0], "*")
+	if first >= last {
+		t.Errorf("curve not increasing: bottom col %d, top col %d", first, last)
+	}
+}
+
+func TestRenderYMaxClips(t *testing.T) {
+	c := Chart{Width: 20, Height: 6, YMax: 10}
+	if err := c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 1000}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "^") {
+		t.Errorf("clipped point should render as ^:\n%s", out)
+	}
+	if strings.Contains(out, "1000") {
+		t.Errorf("axis should be capped at YMax:\n%s", out)
+	}
+}
+
+func TestRenderCollisionMark(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	_ = c.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	_ = c.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := c.Render()
+	if !strings.Contains(out, "!") {
+		t.Errorf("overlapping series should render !:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	c := Chart{Width: 10, Height: 4}
+	_ = c.Add(Series{Name: "flat", X: []float64{2, 2}, Y: []float64{3, 3}})
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("constant series should still render:\n%s", out)
+	}
+}

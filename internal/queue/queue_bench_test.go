@@ -1,0 +1,39 @@
+package queue
+
+import "testing"
+
+func BenchmarkFIFOPushPop(b *testing.B) {
+	var q FIFO[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		if i&7 == 7 { // drain in bursts to exercise wraparound
+			for j := 0; j < 8; j++ {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkMultiClassPushPop(b *testing.B) {
+	m := NewMultiClass[int](3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Push(i%3, i)
+		if i&3 == 3 {
+			for j := 0; j < 4; j++ {
+				m.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkMultiClassPopEmptyHighClasses(b *testing.B) {
+	// Worst case for Pop: the only traffic is in the lowest class.
+	m := NewMultiClass[int](3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Push(2, i)
+		m.Pop()
+	}
+}

@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// TestTwoNodeNetwork: the smallest valid torus (a single 2-ring) still
+// routes broadcasts and unicasts correctly.
+func TestTwoNodeNetwork(t *testing.T) {
+	s := torus.MustNew(2)
+	rates := traffic.Rates{LambdaB: 0.2, LambdaR: 0.2}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 1, Warmup: 100, Measure: 2000, Drain: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reception.Count() == 0 || res.Unicast.Count() == 0 {
+		t.Fatal("2-node network should deliver traffic")
+	}
+	// Every delivery is exactly one hop at low load; queueing can add.
+	if res.Reception.Min() != 1 || res.Unicast.Min() != 1 {
+		t.Errorf("minimum delays = %g/%g, want 1/1", res.Reception.Min(), res.Unicast.Min())
+	}
+}
+
+// TestThreeLevelBroadcastOnly: with no unicast traffic the medium class is
+// simply unused; the discipline must not misbehave.
+func TestThreeLevelBroadcastOnly(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	rates, err := traffic.RatesForRho(s, 0.6, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR3(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 2, Warmup: 500, Measure: 3000, Drain: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueWait[1].Count() != 0 {
+		t.Error("medium class should be empty without unicast traffic")
+	}
+	if res.QueueWait[0].Count() == 0 || res.QueueWait[2].Count() == 0 {
+		t.Error("high and low classes should both carry broadcast traffic")
+	}
+}
+
+// TestSeparateBalancingUnstableWhereJointStable is the Section 1/4 claim as
+// a direct assertion on a fast 4x8 torus: at rho = 0.9 with a 50/50 mix,
+// Eq. 2-only balancing (predicted max ~0.857) is unstable while Eq. 4
+// balancing is stable.
+func TestSeparateBalancingUnstableWhereJointStable(t *testing.T) {
+	s := torus.MustNew(4, 8)
+	rates, err := traffic.RatesForRho(s, 0.9, 0.5, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sepVec, err := balance.BroadcastOnly(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt := balance.MaxThroughput(s, sepVec.X, rates.LambdaB, rates.LambdaR, balance.ExactDistance); mt > 0.88 {
+		t.Fatalf("predicted separate max throughput %g; test premise broken", mt)
+	}
+
+	sepRates := rates
+	sepRates.LambdaR = 0
+	sepScheme, err := core.NewScheme(s, core.TwoLevel, core.BalancedRotation, sepRates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointScheme, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Shape: s, Rates: rates, Seed: 3, Warmup: 1500, Measure: 9000, Drain: 0}
+	cfg.Scheme = sepScheme
+	sep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheme = jointScheme
+	joint, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Stable(s) {
+		t.Errorf("separate balancing should be unstable at rho=0.9 (slope %g)", sep.BacklogSlope)
+	}
+	if !joint.Stable(s) {
+		t.Errorf("joint balancing should be stable at rho=0.9 (slope %g)", joint.BacklogSlope)
+	}
+	// The overloaded dimension is visible in the utilizations.
+	if sep.MaxDimUtilization < 0.97 {
+		t.Errorf("separate max dim utilization %g, want saturated", sep.MaxDimUtilization)
+	}
+	if joint.MaxDimUtilization > 0.95 {
+		t.Errorf("joint max dim utilization %g, want ~rho", joint.MaxDimUtilization)
+	}
+}
+
+// TestReceptionDelayTracksLowerBoundAcrossRho: the measured curve stays
+// above the oblivious bound but within a small factor while stable — the
+// asymptotic-optimality claim in testable form.
+func TestReceptionDelayTracksLowerBoundAcrossRho(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		rates, err := traffic.RatesForRho(s, rho, 1, 1, balance.ExactDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 4, Warmup: 1000, Measure: 5000, Drain: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := s.AvgDistance() + rho/(2*(1-rho))
+		got := res.Reception.Mean()
+		if got < bound-0.05 {
+			t.Errorf("rho=%g: delay %g below bound %g", rho, got, bound)
+		}
+		if got > 3*bound {
+			t.Errorf("rho=%g: delay %g more than 3x bound %g", rho, got, bound)
+		}
+	}
+}
+
+// TestFixedLengthScalesDelays: doubling the packet length roughly doubles
+// low-load delays and preserves utilization at fixed rho.
+func TestFixedLengthScalesDelays(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	run := func(length int) *Result {
+		dist := traffic.FixedLength(length)
+		rates, err := traffic.RatesForRho(s, 0.3, 1, dist.Mean(), balance.ExactDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Length: dist, Seed: 5,
+			Warmup: 1000, Measure: 5000, Drain: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	two := run(2)
+	ratio := two.Reception.Mean() / one.Reception.Mean()
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("length-2 delay ratio %g, want ~2", ratio)
+	}
+	if math.Abs(one.AvgUtilization-two.AvgUtilization) > 0.05 {
+		t.Errorf("utilization changed with length: %g vs %g", one.AvgUtilization, two.AvgUtilization)
+	}
+}
+
+// TestQueueWaitWindowOnly: waits are only recorded during the measurement
+// window.
+func TestQueueWaitWindowOnly(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	rates, err := traffic.RatesForRho(s, 0.5, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.STARFCFS(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 6, Warmup: 2000, Measure: 10, Drain: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 10-slot window on a 64-link 4x4 torus at rho=0.5 the service
+	// count is bounded by slots * links.
+	if short.QueueWait[0].Count() > 10*int64(s.Links()) {
+		t.Errorf("recorded %d waits in a 10-slot window", short.QueueWait[0].Count())
+	}
+}
+
+// TestImpulseWorkloads exercises the static-task injection paths directly:
+// single broadcast, per-node broadcasts, and total exchange.
+func TestImpulseWorkloads(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	sch, err := core.PrioritySTAR(s, traffic.Rates{LambdaB: 1}, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(Config{Shape: s, Scheme: sch, Seed: 1, Measure: 500,
+		SingleBroadcast: true, SingleBroadcastSource: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.GeneratedBroadcasts != 1 || single.Broadcast.Count() != 1 {
+		t.Errorf("single broadcast: generated %d, completed %d",
+			single.GeneratedBroadcasts, single.Broadcast.Count())
+	}
+	if single.Broadcast.Max() != float64(s.Diameter()) {
+		t.Errorf("single broadcast makespan %g, want %d", single.Broadcast.Max(), s.Diameter())
+	}
+
+	mnb, err := Run(Config{Shape: s, Scheme: sch, Seed: 2, Measure: 2000, ImpulseBroadcasts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mnb.GeneratedBroadcasts != int64(2*s.Size()) {
+		t.Errorf("MNB x2 generated %d tasks, want %d", mnb.GeneratedBroadcasts, 2*s.Size())
+	}
+	if mnb.IncompleteBroadcasts != 0 {
+		t.Errorf("MNB x2 left %d incomplete", mnb.IncompleteBroadcasts)
+	}
+
+	te, err := Run(Config{Shape: s, Scheme: sch, Seed: 3, Measure: 3000, ImpulseTotalExchange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(s.Size()) * int64(s.Size()-1)
+	if te.GeneratedUnicasts != want {
+		t.Errorf("TE generated %d unicasts, want %d", te.GeneratedUnicasts, want)
+	}
+	if te.IncompleteUnicasts != 0 {
+		t.Errorf("TE left %d undelivered", te.IncompleteUnicasts)
+	}
+}
+
+// TestOversizedPacketsClamped: service times beyond the timing wheel are
+// clamped and counted.
+func TestOversizedPacketsClamped(t *testing.T) {
+	s := torus.MustNew(2, 2)
+	length := traffic.FixedLength(100000)
+	sch, err := core.PrioritySTAR(s, traffic.Rates{LambdaB: 1}, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Length: length, Seed: 4,
+		Measure: 20000, SingleBroadcast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClampedLengths == 0 {
+		t.Error("oversized packet lengths should be clamped and counted")
+	}
+}
+
+// TestQuickRandomConfigurations is a property smoke test: for random small
+// shapes, traffic mixes, and loads, the engine's bookkeeping invariants
+// hold — completed + incomplete tasks equal generated, reception counts
+// are bounded by (N-1) per task, link utilization never exceeds 1, and the
+// minimum delay is at least one slot.
+func TestQuickRandomConfigurations(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x510))
+		d := 1 + rng.IntN(3)
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + rng.IntN(4)
+		}
+		s := torus.MustNew(dims...)
+		frac := []float64{0, 0.5, 1}[rng.IntN(3)]
+		rho := 0.2 + 0.5*rng.Float64()
+		rates, err := traffic.RatesForRho(s, rho, frac, 1, balance.ExactDistance)
+		if err != nil {
+			return false
+		}
+		disc := []core.Discipline{core.FCFS, core.TwoLevel, core.ThreeLevel}[rng.IntN(3)]
+		sch, err := core.NewScheme(s, disc, core.BalancedRotation, rates, balance.ExactDistance)
+		if err != nil {
+			return false
+		}
+		res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: seed,
+			Warmup: 200, Measure: 1500, Drain: 800})
+		if err != nil {
+			return false
+		}
+		if res.Broadcast.Count()+res.IncompleteBroadcasts != res.GeneratedBroadcasts {
+			return false
+		}
+		n := int64(s.Size() - 1)
+		if res.Reception.Count() > res.GeneratedBroadcasts*n {
+			return false
+		}
+		if res.Reception.Count() > 0 && res.Reception.Min() < 1 {
+			return false
+		}
+		if res.Unicast.Count() > 0 && res.Unicast.Min() < 1 {
+			return false
+		}
+		for _, u := range res.DimUtilization {
+			if u > 1.0001 {
+				return false
+			}
+		}
+		return res.AvgUtilization <= 1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// TestObserverBroadcastUniqueness uses the delivery hook to verify the
+// spanning-tree property *under contention*: no measured broadcast task
+// ever delivers twice to the same node, and completed tasks reach exactly
+// N-1 nodes.
+func TestObserverBroadcastUniqueness(t *testing.T) {
+	s := torus.MustNew(4, 8)
+	rates, err := traffic.RatesForRho(s, 0.8, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		task int64
+		node torus.Node
+	}
+	seen := make(map[key]bool)
+	perTask := make(map[int64]int)
+	res, err := Run(Config{
+		Shape: s, Scheme: sch, Rates: rates, Seed: 21,
+		Warmup: 500, Measure: 3000, Drain: 2000,
+		OnDeliver: func(ev DeliverEvent) {
+			if !ev.Broadcast || ev.Task < 0 {
+				return
+			}
+			k := key{ev.Task, ev.Node}
+			if seen[k] {
+				t.Fatalf("task %d delivered twice to node %d", ev.Task, ev.Node)
+			}
+			seen[k] = true
+			perTask[ev.Task]++
+			if ev.Slot <= ev.Birth {
+				t.Fatalf("delivery at slot %d not after birth %d", ev.Slot, ev.Birth)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete := 0
+	for task, n := range perTask {
+		if n > s.Size()-1 {
+			t.Fatalf("task %d delivered %d copies > N-1", task, n)
+		}
+		if n == s.Size()-1 {
+			complete++
+		}
+	}
+	if int64(complete) != res.Broadcast.Count() {
+		t.Errorf("observer saw %d complete tasks, result says %d", complete, res.Broadcast.Count())
+	}
+}
+
+// TestObserverUnicastFinalCount: Final events match the recorded unicast
+// deliveries plus unmeasured (warm-up/drain-born) ones.
+func TestObserverUnicastFinalCount(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	rates, err := traffic.RatesForRho(s, 0.5, 0, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals, hops := 0, 0
+	res, err := Run(Config{
+		Shape: s, Scheme: sch, Rates: rates, Seed: 22,
+		Warmup: 200, Measure: 2000, Drain: 1000,
+		OnDeliver: func(ev DeliverEvent) {
+			if ev.Broadcast {
+				t.Fatal("broadcast event in a unicast-only run")
+			}
+			if ev.Final {
+				finals++
+			} else {
+				hops++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(finals) < res.Unicast.Count() {
+		t.Errorf("observer finals %d < measured deliveries %d", finals, res.Unicast.Count())
+	}
+	// Average path length ~2.13 on 4x4, so intermediate hops exist.
+	if hops == 0 {
+		t.Error("expected intermediate unicast hops")
+	}
+}

@@ -1,0 +1,542 @@
+// Package sim is the slotted-time, store-and-forward network simulator the
+// experiments run on. It models the paper's queueing environment directly:
+//
+//   - time advances in slots; a packet of length L occupies a directed link
+//     for L consecutive slots (unit length packets take one slot, the
+//     paper's analysis model);
+//   - every node transmits on all of its outgoing links in parallel
+//     (all-port model), each link serving an unbounded multi-class output
+//     queue with head-of-line priority and FCFS order within a class;
+//   - a packet that finishes arriving at the start of slot t can be
+//     forwarded during slot t, so an uncontended packet's delay equals its
+//     hop distance times its length;
+//   - broadcast and unicast tasks arrive as Poisson streams and are routed
+//     by a core.Scheme (STAR trees, priority classes, shortest paths).
+//
+// Statistics are collected for tasks born inside the measurement window
+// [Warmup, Warmup+Measure); the simulation then runs Drain additional slots
+// so most measured tasks can complete, and reports how many did not.
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"prioritystar/internal/core"
+	"prioritystar/internal/queue"
+	"prioritystar/internal/stats"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// wheelSize is the timing-wheel span; packet service times are clamped to
+// wheelSize-1 slots (Result.ClampedLengths counts occurrences, which are
+// astronomically rare for the geometric lengths used by the experiments).
+const wheelSize = 4096
+
+// Config describes one simulation run.
+type Config struct {
+	Shape  *torus.Shape
+	Scheme *core.Scheme
+	Rates  traffic.Rates      // per-node task arrival rates
+	Length traffic.LengthDist // packet length distribution (zero value = unit)
+	Seed   uint64
+
+	Warmup  int64 // slots before the measurement window
+	Measure int64 // slots in the measurement window (required, > 0)
+	Drain   int64 // slots after the window for measured tasks to finish
+
+	// MaxBacklog aborts the run early when the total number of queued
+	// packets exceeds it, which happens only for unstable operating points
+	// (rho beyond the scheme's maximum throughput). 0 means the default of
+	// 4 million packets.
+	MaxBacklog int64
+
+	// OnDeliver, when non-nil, is invoked for every packet arrival: each
+	// broadcast copy received by a node and each unicast hop (Final marks
+	// arrival at the unicast destination). Intended for tests and tracing;
+	// it adds an indirect call per delivery.
+	OnDeliver func(DeliverEvent)
+
+	// ImpulseBroadcasts injects this many broadcast tasks per node at slot
+	// 0, modelling the static multinode-broadcast task of the paper's
+	// introduction (1 task per node = MNB). Combine with zero Rates and
+	// zero Warmup to measure the makespan via Result.Broadcast.Max().
+	ImpulseBroadcasts int
+	// ImpulseTotalExchange, when true, injects one unicast from every node
+	// to every other node at slot 0 — the static total-exchange (TE) task.
+	ImpulseTotalExchange bool
+	// SingleBroadcast, when true, injects exactly one broadcast task from
+	// SingleBroadcastSource at slot 0 (the static single-broadcast task).
+	SingleBroadcast       bool
+	SingleBroadcastSource torus.Node
+}
+
+// DeliverEvent describes one packet arrival for Config.OnDeliver.
+type DeliverEvent struct {
+	Slot  int64
+	Node  torus.Node
+	Birth int64
+	// Task is the broadcast task key for measured broadcast copies and -1
+	// otherwise.
+	Task int64
+	// Broadcast is true for broadcast copies, false for unicast packets.
+	Broadcast bool
+	// Final is true when a unicast packet reached its destination (always
+	// true for broadcast copies: every arrival is a delivery).
+	Final bool
+}
+
+func (c *Config) totalSlots() int64 { return c.Warmup + c.Measure + c.Drain }
+
+func (c *Config) validate() error {
+	if c.Shape == nil || c.Scheme == nil {
+		return fmt.Errorf("sim: nil shape or scheme")
+	}
+	if c.Scheme.Shape != c.Shape {
+		return fmt.Errorf("sim: scheme was built for %v, config uses %v", c.Scheme.Shape, c.Shape)
+	}
+	if c.Rates.LambdaB < 0 || c.Rates.LambdaR < 0 {
+		return fmt.Errorf("sim: negative arrival rates %+v", c.Rates)
+	}
+	if c.Measure <= 0 {
+		return fmt.Errorf("sim: Measure must be positive, got %d", c.Measure)
+	}
+	if c.Warmup < 0 || c.Drain < 0 {
+		return fmt.Errorf("sim: negative Warmup or Drain")
+	}
+	return nil
+}
+
+// Result holds the measured statistics of one run.
+type Result struct {
+	// Reception aggregates, per delivered copy of a measured broadcast
+	// task, the time since task generation (the paper's reception delay).
+	Reception stats.Welford
+	// Broadcast aggregates, per completed measured broadcast task, the
+	// time until the last node received its copy (broadcast delay).
+	Broadcast stats.Welford
+	// Unicast aggregates end-to-end delays of measured unicast packets.
+	Unicast stats.Welford
+	// QueueWait aggregates, per priority class, the output-queue waiting
+	// time of packets entering service during the measurement window.
+	QueueWait [3]stats.Welford
+
+	GeneratedBroadcasts  int64 // measured broadcast tasks generated
+	GeneratedUnicasts    int64 // measured unicast tasks generated
+	IncompleteBroadcasts int64 // measured tasks not finished by the horizon
+	IncompleteUnicasts   int64 // measured unicasts not delivered by the horizon
+
+	// DimUtilization is the average utilization of a dimension-i link over
+	// the measurement window; MaxDimUtilization and AvgUtilization
+	// summarize it. For a balanced scheme AvgUtilization ~= rho and all
+	// dimensions match.
+	DimUtilization    []float64
+	AvgUtilization    float64
+	MaxDimUtilization float64
+
+	BacklogStart int64   // queued packets when the window opened
+	BacklogEnd   int64   // queued packets when the window closed
+	BacklogSlope float64 // (end-start)/Measure, packets per slot
+	MaxBacklog   int64   // peak queued packets observed
+	// BacklogFirstQ and BacklogLastQ are the average backlog over the
+	// first and last quarter of the measurement window; their difference
+	// (BacklogTrend) is a noise-robust growth estimate used by Stable.
+	BacklogFirstQ float64
+	BacklogLastQ  float64
+	BacklogTrend  float64
+
+	// Truncated is true when the run was aborted by Config.MaxBacklog
+	// (unstable operating point); delay statistics are then meaningless.
+	Truncated bool
+	// ClampedLengths counts packets whose sampled service time exceeded
+	// the timing wheel and was clamped.
+	ClampedLengths int64
+}
+
+// packetKind discriminates broadcast copies from unicast packets.
+type packetKind uint8
+
+const (
+	kindBroadcast packetKind = iota
+	kindUnicast
+)
+
+// packet is the in-network representation of one copy. It is kept small
+// and copied by value through the queues.
+type packet struct {
+	birth    int64
+	enq      int64 // enqueue time at the current output queue
+	task     int64 // broadcast task key (measured tasks only; -1 otherwise)
+	dest     torus.Node
+	tieMask  uint32
+	length   int32
+	kind     packetKind
+	class    uint8
+	ending   int8
+	phase    int8
+	dir      torus.Dir
+	hopsLeft int16
+	measured bool
+}
+
+type arrival struct {
+	link torus.LinkID
+	pkt  packet
+}
+
+type bcastState struct {
+	birth     int64
+	remaining int32
+}
+
+type engine struct {
+	cfg     Config
+	s       *torus.Shape
+	sch     *core.Scheme
+	rng     *rand.Rand
+	res     *Result
+	now     int64
+	wStart  int64
+	wEnd    int64
+	horizon int64
+
+	queues    []queue.MultiClass[packet]
+	busyUntil []int64
+	busySlots []int64 // busy slots within the window, per link
+	linkDst   []torus.Node
+	wheel     [][]arrival
+	tasks     map[int64]*bcastState
+	nextTask  int64
+	backlog   int64
+	hopBuf    []core.Hop
+	maxBack   int64
+
+	// Backlog sampling for the trend estimate: sums over the first and
+	// last quarters of the measurement window.
+	firstQSum, lastQSum     float64
+	firstQCount, lastQCount int64
+}
+
+// Run executes one simulation and returns its statistics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:     cfg,
+		s:       cfg.Shape,
+		sch:     cfg.Scheme,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x57a12357)),
+		res:     &Result{},
+		wStart:  cfg.Warmup,
+		wEnd:    cfg.Warmup + cfg.Measure,
+		horizon: cfg.totalSlots(),
+		tasks:   make(map[int64]*bcastState),
+		maxBack: cfg.MaxBacklog,
+	}
+	if e.maxBack == 0 {
+		e.maxBack = 4_000_000
+	}
+	slots := e.s.LinkSlots()
+	e.queues = make([]queue.MultiClass[packet], 0, slots)
+	for i := 0; i < slots; i++ {
+		e.queues = append(e.queues, *queue.NewMultiClass[packet](e.sch.Discipline.Classes()))
+	}
+	e.busyUntil = make([]int64, slots)
+	e.busySlots = make([]int64, slots)
+	e.linkDst = make([]torus.Node, slots)
+	for l := 0; l < slots; l++ {
+		if e.s.ValidLink(torus.LinkID(l)) {
+			e.linkDst[l] = e.s.LinkDst(torus.LinkID(l))
+		}
+	}
+	e.wheel = make([][]arrival, wheelSize)
+
+	for e.now = 0; e.now < e.horizon; e.now++ {
+		if e.now == e.wStart {
+			e.res.BacklogStart = e.backlog
+		}
+		e.deliverArrivals()
+		e.generate()
+		e.service()
+		if e.now == e.wEnd-1 {
+			e.res.BacklogEnd = e.backlog
+		}
+		if e.now >= e.wStart && e.now < e.wEnd {
+			quarter := (e.cfg.Measure + 3) / 4
+			switch {
+			case e.now < e.wStart+quarter:
+				e.firstQSum += float64(e.backlog)
+				e.firstQCount++
+			case e.now >= e.wEnd-quarter:
+				e.lastQSum += float64(e.backlog)
+				e.lastQCount++
+			}
+		}
+		if e.backlog > e.res.MaxBacklog {
+			e.res.MaxBacklog = e.backlog
+		}
+		if e.backlog > e.maxBack {
+			e.res.Truncated = true
+			break
+		}
+	}
+	e.finish()
+	return e.res, nil
+}
+
+// deliverArrivals processes packets whose transmission completes at the
+// start of the current slot.
+func (e *engine) deliverArrivals() {
+	slot := e.now % wheelSize
+	arrivals := e.wheel[slot]
+	// Service can never append back into the current slot (lengths are in
+	// [1, wheelSize)), so the backing array is safe to reuse immediately.
+	e.wheel[slot] = arrivals[:0]
+	for i := range arrivals {
+		a := &arrivals[i]
+		node := e.linkDst[a.link]
+		if a.pkt.kind == kindUnicast {
+			e.deliverUnicast(node, a.pkt)
+		} else {
+			e.deliverBroadcast(node, a.pkt)
+		}
+	}
+}
+
+func (e *engine) deliverUnicast(node torus.Node, pkt packet) {
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(DeliverEvent{
+			Slot: e.now, Node: node, Birth: pkt.birth, Task: -1,
+			Broadcast: false, Final: node == pkt.dest,
+		})
+	}
+	if node == pkt.dest {
+		if pkt.measured {
+			e.res.Unicast.Add(float64(e.now - pkt.birth))
+			e.res.IncompleteUnicasts--
+		}
+		return
+	}
+	dim, dir, _ := core.UnicastNextHop(e.s, node, pkt.dest, pkt.tieMask)
+	e.enqueue(node, dim, dir, pkt)
+}
+
+func (e *engine) deliverBroadcast(node torus.Node, pkt packet) {
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(DeliverEvent{
+			Slot: e.now, Node: node, Birth: pkt.birth, Task: pkt.task,
+			Broadcast: true, Final: true,
+		})
+	}
+	if pkt.measured {
+		e.res.Reception.Add(float64(e.now - pkt.birth))
+		if st, ok := e.tasks[pkt.task]; ok {
+			st.remaining--
+			if st.remaining == 0 {
+				e.res.Broadcast.Add(float64(e.now - st.birth))
+				delete(e.tasks, pkt.task)
+			}
+		}
+	}
+	e.hopBuf = core.BroadcastForward(e.s, int(pkt.ending), int(pkt.phase), pkt.dir, int(pkt.hopsLeft), e.rng, e.hopBuf[:0])
+	e.forwardHops(node, pkt)
+}
+
+// forwardHops enqueues the hops currently in hopBuf on behalf of pkt.
+func (e *engine) forwardHops(node torus.Node, pkt packet) {
+	for _, h := range e.hopBuf {
+		next := pkt
+		next.phase = int8(h.Phase)
+		next.dir = h.Dir
+		next.hopsLeft = int16(h.HopsLeft)
+		next.class = uint8(e.sch.BroadcastClass(h.Dim, int(pkt.ending)))
+		e.enqueue(node, h.Dim, h.Dir, next)
+	}
+}
+
+func (e *engine) enqueue(node torus.Node, dim int, dir torus.Dir, pkt packet) {
+	pkt.enq = e.now
+	l := e.s.Link(node, dim, dir)
+	e.queues[l].Push(int(pkt.class), pkt)
+	e.backlog++
+}
+
+// generate injects this slot's new tasks. Per-node independent Poisson
+// streams are equivalent to one aggregate Poisson stream with uniformly
+// random sources.
+func (e *engine) generate() {
+	n := float64(e.s.Size())
+	measured := e.now >= e.wStart && e.now < e.wEnd
+	if e.now == 0 {
+		e.generateImpulse(measured)
+	}
+	for i := traffic.Poisson(e.rng, e.cfg.Rates.LambdaB*n); i > 0; i-- {
+		e.spawnBroadcast(torus.Node(e.rng.IntN(e.s.Size())), measured)
+	}
+	for i := traffic.Poisson(e.rng, e.cfg.Rates.LambdaR*n); i > 0; i-- {
+		src := torus.Node(e.rng.IntN(e.s.Size()))
+		e.spawnUnicast(src, traffic.UniformDest(e.rng, e.s, src), measured)
+	}
+}
+
+// generateImpulse injects the static communication tasks of Config at slot
+// 0: ImpulseBroadcasts broadcast tasks per node and/or the total-exchange
+// unicast pattern.
+func (e *engine) generateImpulse(measured bool) {
+	if e.cfg.SingleBroadcast {
+		e.spawnBroadcast(e.cfg.SingleBroadcastSource, measured)
+	}
+	for k := 0; k < e.cfg.ImpulseBroadcasts; k++ {
+		for u := torus.Node(0); int(u) < e.s.Size(); u++ {
+			e.spawnBroadcast(u, measured)
+		}
+	}
+	if e.cfg.ImpulseTotalExchange {
+		for u := torus.Node(0); int(u) < e.s.Size(); u++ {
+			for v := torus.Node(0); int(v) < e.s.Size(); v++ {
+				if u != v {
+					e.spawnUnicast(u, v, measured)
+				}
+			}
+		}
+	}
+}
+
+func (e *engine) spawnBroadcast(src torus.Node, measured bool) {
+	ending := e.sch.SampleEnding(e.rng)
+	pkt := packet{
+		birth:    e.now,
+		task:     -1,
+		length:   int32(e.sampleLength()),
+		kind:     kindBroadcast,
+		ending:   int8(ending),
+		measured: measured,
+	}
+	if measured {
+		pkt.task = e.nextTask
+		e.nextTask++
+		e.tasks[pkt.task] = &bcastState{birth: e.now, remaining: int32(e.s.Size() - 1)}
+		e.res.GeneratedBroadcasts++
+	}
+	e.hopBuf = core.BroadcastForward(e.s, ending, -1, torus.Plus, 0, e.rng, e.hopBuf[:0])
+	e.forwardHops(src, pkt)
+}
+
+func (e *engine) spawnUnicast(src, dest torus.Node, measured bool) {
+	pkt := packet{
+		birth:    e.now,
+		task:     -1,
+		dest:     dest,
+		tieMask:  core.SampleTieMask(e.rng, e.s.Dims()),
+		length:   int32(e.sampleLength()),
+		kind:     kindUnicast,
+		class:    uint8(e.sch.UnicastClass()),
+		measured: measured,
+	}
+	if measured {
+		e.res.GeneratedUnicasts++
+		e.res.IncompleteUnicasts++ // decremented on delivery
+	}
+	dim, dir, _ := core.UnicastNextHop(e.s, src, dest, pkt.tieMask)
+	e.enqueue(src, dim, dir, pkt)
+}
+
+func (e *engine) sampleLength() int {
+	l := e.cfg.Length.Sample(e.rng)
+	if l >= wheelSize {
+		l = wheelSize - 1
+		e.res.ClampedLengths++
+	}
+	return l
+}
+
+// service starts a new transmission on every idle link with queued packets.
+func (e *engine) service() {
+	t := e.now
+	for l := range e.queues {
+		if e.busyUntil[l] > t {
+			continue
+		}
+		q := &e.queues[l]
+		if q.Len() == 0 {
+			continue
+		}
+		pkt, class, _ := q.Pop()
+		e.backlog--
+		if t >= e.wStart && t < e.wEnd {
+			e.res.QueueWait[class].Add(float64(t - pkt.enq))
+		}
+		length := int64(pkt.length)
+		e.busyUntil[l] = t + length
+		e.busySlots[l] += overlap(t, t+length, e.wStart, e.wEnd)
+		at := (t + length) % wheelSize
+		e.wheel[at] = append(e.wheel[at], arrival{link: torus.LinkID(l), pkt: pkt})
+	}
+}
+
+// overlap returns the length of [a,b) ∩ [lo,hi).
+func overlap(a, b, lo, hi int64) int64 {
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// finish converts raw counters into Result aggregates.
+func (e *engine) finish() {
+	e.res.IncompleteBroadcasts = int64(len(e.tasks))
+	d := e.s.Dims()
+	busy := make([]int64, d)
+	links := make([]int64, d)
+	totalBusy := int64(0)
+	for l := 0; l < e.s.LinkSlots(); l++ {
+		if !e.s.ValidLink(torus.LinkID(l)) {
+			continue
+		}
+		dim := e.s.LinkDim(torus.LinkID(l))
+		busy[dim] += e.busySlots[l]
+		links[dim]++
+		totalBusy += e.busySlots[l]
+	}
+	e.res.DimUtilization = make([]float64, d)
+	measure := float64(e.cfg.Measure)
+	for i := 0; i < d; i++ {
+		if links[i] > 0 {
+			e.res.DimUtilization[i] = float64(busy[i]) / (measure * float64(links[i]))
+		}
+		if e.res.DimUtilization[i] > e.res.MaxDimUtilization {
+			e.res.MaxDimUtilization = e.res.DimUtilization[i]
+		}
+	}
+	e.res.AvgUtilization = float64(totalBusy) / (measure * float64(e.s.Links()))
+	e.res.BacklogSlope = float64(e.res.BacklogEnd-e.res.BacklogStart) / measure
+	if e.firstQCount > 0 {
+		e.res.BacklogFirstQ = e.firstQSum / float64(e.firstQCount)
+	}
+	if e.lastQCount > 0 {
+		e.res.BacklogLastQ = e.lastQSum / float64(e.lastQCount)
+	}
+	e.res.BacklogTrend = e.res.BacklogLastQ - e.res.BacklogFirstQ
+}
+
+// Stable heuristically reports whether the run operated below saturation:
+// not truncated, and the quarter-averaged backlog trend grew by less than
+// one packet per link plus half the initial backlog level over the window.
+// Averaging whole quarters (rather than comparing two instants) filters the
+// large stationary fluctuations of high-but-stable loads, while genuine
+// saturation — which adds Theta(deficit * links) packets per slot for the
+// whole window — still trips the threshold immediately.
+func (r *Result) Stable(s *torus.Shape) bool {
+	if r.Truncated {
+		return false
+	}
+	return r.BacklogTrend < float64(s.Links())+r.BacklogFirstQ/2
+}

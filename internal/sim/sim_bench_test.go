@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// benchEngine measures raw engine throughput (simulated slots per run) for
+// one topology/load combination.
+func benchEngine(b *testing.B, dims []int, rho float64) {
+	s := torus.MustNew(dims...)
+	rates, err := traffic.RatesForRho(s, rho, 1, 1, balance.ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slots = 2000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Shape: s, Scheme: sch, Rates: rates, Seed: uint64(i + 1),
+			Warmup: 0, Measure: slots, Drain: 0,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(slots)*float64(b.N)/b.Elapsed().Seconds(), "slots/s")
+}
+
+func BenchmarkEngine8x8LowLoad(b *testing.B)  { benchEngine(b, []int{8, 8}, 0.2) }
+func BenchmarkEngine8x8HighLoad(b *testing.B) { benchEngine(b, []int{8, 8}, 0.9) }
+func BenchmarkEngine16x16(b *testing.B)       { benchEngine(b, []int{16, 16}, 0.8) }
+func BenchmarkEngine8x8x8(b *testing.B)       { benchEngine(b, []int{8, 8, 8}, 0.8) }
+func BenchmarkEngineHypercube8(b *testing.B)  { benchEngine(b, []int{2, 2, 2, 2, 2, 2, 2, 2}, 0.8) }

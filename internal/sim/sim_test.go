@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// run builds a scheme and runs one simulation, failing the test on error.
+func run(t *testing.T, dims []int, disc core.Discipline, rot core.Rotation,
+	rho, broadcastFrac float64, seed uint64) *Result {
+	t.Helper()
+	s := torus.MustNew(dims...)
+	rates, err := traffic.RatesForRho(s, rho, broadcastFrac, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.NewScheme(s, disc, rot, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Shape:   s,
+		Scheme:  sch,
+		Rates:   rates,
+		Seed:    seed,
+		Warmup:  2000,
+		Measure: 6000,
+		Drain:   2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	sch, err := core.STARFCFS(s, traffic.Rates{LambdaB: 0.01}, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Config{Shape: s, Scheme: sch, Measure: 10}
+
+	bad := good
+	bad.Shape = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("nil shape should fail")
+	}
+	bad = good
+	bad.Measure = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero Measure should fail")
+	}
+	bad = good
+	bad.Warmup = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative warmup should fail")
+	}
+	bad = good
+	bad.Rates = traffic.Rates{LambdaB: -1}
+	if _, err := Run(bad); err == nil {
+		t.Error("negative rates should fail")
+	}
+	other := torus.MustNew(8, 8)
+	bad = good
+	bad.Shape = other
+	if _, err := Run(bad); err == nil {
+		t.Error("scheme/shape mismatch should fail")
+	}
+}
+
+func TestZeroTraffic(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	sch, err := core.STARFCFS(s, traffic.Rates{}, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Measure: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reception.Count() != 0 || res.Unicast.Count() != 0 {
+		t.Error("zero traffic should produce no deliveries")
+	}
+	if res.AvgUtilization != 0 {
+		t.Error("zero traffic should leave links idle")
+	}
+	if !res.Stable(s) {
+		t.Error("empty network is stable")
+	}
+}
+
+// TestLowLoadReceptionDelayIsDistance: with rho -> 0 every copy travels
+// uncontended, so the average reception delay must approach the average
+// Lee distance and the broadcast delay the source eccentricity.
+func TestLowLoadReceptionDelayIsDistance(t *testing.T) {
+	res := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.02, 1, 1)
+	s := torus.MustNew(8, 8)
+	wantRec := s.AvgDistance()
+	if math.Abs(res.Reception.Mean()-wantRec) > 0.15 {
+		t.Errorf("low-load reception delay = %g, want ~%g", res.Reception.Mean(), wantRec)
+	}
+	// Broadcast delay at rho->0 is the tree height: the diameter (8), give
+	// or take rare queueing.
+	if res.Broadcast.Mean() < 7.5 || res.Broadcast.Mean() > 9.5 {
+		t.Errorf("low-load broadcast delay = %g, want ~8", res.Broadcast.Mean())
+	}
+	if res.IncompleteBroadcasts > res.GeneratedBroadcasts/100 {
+		t.Errorf("%d of %d broadcasts incomplete at low load",
+			res.IncompleteBroadcasts, res.GeneratedBroadcasts)
+	}
+}
+
+// TestLowLoadUnicastDelayIsDistance: same for unicast traffic.
+func TestLowLoadUnicastDelayIsDistance(t *testing.T) {
+	res := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.02, 0, 2)
+	s := torus.MustNew(8, 8)
+	want := s.AvgDistance()
+	if math.Abs(res.Unicast.Mean()-want) > 0.15 {
+		t.Errorf("low-load unicast delay = %g, want ~%g", res.Unicast.Mean(), want)
+	}
+}
+
+// TestUtilizationMatchesRho: the measured average link utilization equals
+// the offered throughput factor, and a balanced scheme equalizes the
+// per-dimension utilizations (the defining property of STAR).
+func TestUtilizationMatchesRho(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		frac float64
+	}{
+		{[]int{8, 8}, 1},
+		{[]int{4, 8}, 1},
+		{[]int{4, 4, 8}, 0.5},
+	} {
+		res := run(t, tc.dims, core.TwoLevel, core.BalancedRotation, 0.6, tc.frac, 3)
+		if math.Abs(res.AvgUtilization-0.6) > 0.03 {
+			t.Errorf("%v: AvgUtilization = %g, want ~0.6", tc.dims, res.AvgUtilization)
+		}
+		for i, u := range res.DimUtilization {
+			if math.Abs(u-0.6) > 0.05 {
+				t.Errorf("%v: dim %d utilization = %g, want ~0.6 (balanced)", tc.dims, i, u)
+			}
+		}
+	}
+}
+
+// TestUnbalancedRotationSkewsUtilization: uniform rotation on an asymmetric
+// torus must load some dimension above rho — the imbalance STAR corrects.
+func TestUnbalancedRotationSkewsUtilization(t *testing.T) {
+	res := run(t, []int{4, 8}, core.FCFS, core.UniformRotation, 0.5, 1, 4)
+	// Predicted: dim loads proportional to row means of Eq. (1): 13.5 vs
+	// 17.5 transmissions per task (dims 0, 1).
+	if res.DimUtilization[1] < res.DimUtilization[0]*1.15 {
+		t.Errorf("uniform rotation should overload the long dimension: %v", res.DimUtilization)
+	}
+}
+
+// TestPrioritySTARBeatsFCFSAtHighLoad is the paper's Figs. 2 and 5 claim in
+// miniature: at high throughput factor, priority STAR achieves markedly
+// smaller reception and broadcast delay than the FCFS baseline.
+func TestPrioritySTARBeatsFCFSAtHighLoad(t *testing.T) {
+	prio := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.85, 1, 5)
+	fcfs := run(t, []int{8, 8}, core.FCFS, core.BalancedRotation, 0.85, 1, 5)
+	if prio.Truncated || fcfs.Truncated {
+		t.Fatal("rho=0.85 should be stable for both schemes")
+	}
+	if prio.Reception.Mean() >= fcfs.Reception.Mean() {
+		t.Errorf("priority reception delay %g should beat FCFS %g",
+			prio.Reception.Mean(), fcfs.Reception.Mean())
+	}
+	if prio.Broadcast.Mean() >= fcfs.Broadcast.Mean() {
+		t.Errorf("priority broadcast delay %g should beat FCFS %g",
+			prio.Broadcast.Mean(), fcfs.Broadcast.Mean())
+	}
+}
+
+// TestHighPriorityWaitSmall checks the Section 3.2 analysis: high-priority
+// packets see O(1/n) queueing, far below the low-priority class.
+func TestHighPriorityWaitSmall(t *testing.T) {
+	res := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.8, 1, 6)
+	high := res.QueueWait[0].Mean()
+	low := res.QueueWait[1].Mean()
+	if high > 0.5 {
+		t.Errorf("high-priority wait = %g, want < 0.5 slots", high)
+	}
+	if low < 4*high {
+		t.Errorf("low-priority wait %g should dwarf high-priority wait %g", low, high)
+	}
+}
+
+// TestConservationLaw: with identical arrivals, the overall average queue
+// wait is (approximately) invariant to the priority discipline — priorities
+// redistribute waiting, they do not remove it (Section 3.2's conservation
+// argument). Different schemes see different sample paths, so the tolerance
+// is loose.
+func TestConservationLaw(t *testing.T) {
+	prio := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.7, 1, 7)
+	fcfs := run(t, []int{8, 8}, core.FCFS, core.BalancedRotation, 0.7, 1, 7)
+	wPrio := (prio.QueueWait[0].Sum() + prio.QueueWait[1].Sum()) /
+		float64(prio.QueueWait[0].Count()+prio.QueueWait[1].Count())
+	wFCFS := fcfs.QueueWait[0].Mean()
+	if math.Abs(wPrio-wFCFS) > 0.25*wFCFS {
+		t.Errorf("mean wait with priority %g vs FCFS %g: conservation law violated", wPrio, wFCFS)
+	}
+}
+
+// TestUnicastPriorityKeepsDelayFlat reproduces the Section 4 claim: with
+// mixed traffic, giving unicast packets priority keeps their delay near the
+// uncontended distance even at high load.
+func TestUnicastPriorityKeepsDelayFlat(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	prio := run(t, []int{8, 8}, core.TwoLevel, core.BalancedRotation, 0.85, 0.5, 8)
+	fcfs := run(t, []int{8, 8}, core.FCFS, core.BalancedRotation, 0.85, 0.5, 8)
+	dave := s.AvgDistance()
+	if prio.Unicast.Mean() > dave+1.5 {
+		t.Errorf("prioritized unicast delay = %g, want near %g", prio.Unicast.Mean(), dave)
+	}
+	if fcfs.Unicast.Mean() < prio.Unicast.Mean()+1 {
+		t.Errorf("FCFS unicast delay %g should clearly exceed prioritized %g",
+			fcfs.Unicast.Mean(), prio.Unicast.Mean())
+	}
+}
+
+// TestThreeLevelOrdersWaits: high < medium < low queue waits under the
+// three-level heterogeneous discipline.
+func TestThreeLevelOrdersWaits(t *testing.T) {
+	res := run(t, []int{8, 8}, core.ThreeLevel, core.BalancedRotation, 0.85, 0.5, 9)
+	h, m, l := res.QueueWait[0].Mean(), res.QueueWait[1].Mean(), res.QueueWait[2].Mean()
+	if !(h <= m && m <= l) {
+		t.Errorf("waits not ordered: high %g, medium %g, low %g", h, m, l)
+	}
+	if res.QueueWait[1].Count() == 0 || res.QueueWait[2].Count() == 0 {
+		t.Error("all three classes should see traffic")
+	}
+}
+
+// TestDeterminism: identical seeds produce identical results.
+func TestDeterminism(t *testing.T) {
+	a := run(t, []int{4, 8}, core.TwoLevel, core.BalancedRotation, 0.5, 0.7, 42)
+	b := run(t, []int{4, 8}, core.TwoLevel, core.BalancedRotation, 0.5, 0.7, 42)
+	if a.Reception.Mean() != b.Reception.Mean() ||
+		a.Broadcast.Count() != b.Broadcast.Count() ||
+		a.Unicast.Mean() != b.Unicast.Mean() ||
+		a.AvgUtilization != b.AvgUtilization {
+		t.Error("same seed must reproduce identical results")
+	}
+	c := run(t, []int{4, 8}, core.TwoLevel, core.BalancedRotation, 0.5, 0.7, 43)
+	if a.Reception.Mean() == c.Reception.Mean() && a.Unicast.Mean() == c.Unicast.Mean() {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestOverloadTruncates: rho > 1 is unstable; the backlog guard must fire
+// and flag the run.
+func TestOverloadTruncates(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	rates, err := traffic.RatesForRho(s, 1.4, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.STARFCFS(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Shape: s, Scheme: sch, Rates: rates, Seed: 1,
+		Warmup: 0, Measure: 50000, Drain: 0,
+		MaxBacklog: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("overloaded run should truncate")
+	}
+	if res.Stable(s) {
+		t.Error("truncated run must report unstable")
+	}
+}
+
+// TestOverloadBacklogGrows: just above saturation the backlog slope is
+// clearly positive even without truncation.
+func TestOverloadBacklogGrows(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	rates, err := traffic.RatesForRho(s, 1.15, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.STARFCFS(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 2, Warmup: 500, Measure: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		return // also acceptable: the guard fired
+	}
+	if res.BacklogSlope <= 0 {
+		t.Errorf("backlog slope = %g, want positive above saturation", res.BacklogSlope)
+	}
+	if res.Stable(s) {
+		t.Error("overloaded run should be unstable")
+	}
+}
+
+// TestVariableLengthStable: geometric packet lengths at moderate rho stay
+// stable and deliver everything — the paper's variable-length claim.
+func TestVariableLengthStable(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	length := traffic.GeometricLength(4)
+	rates, err := traffic.RatesForRho(s, 0.7, 1, length.Mean(), balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Shape: s, Scheme: sch, Rates: rates, Length: length, Seed: 3,
+		Warmup: 3000, Measure: 8000, Drain: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable(s) {
+		t.Fatal("geometric lengths at rho=0.7 should be stable")
+	}
+	if math.Abs(res.AvgUtilization-0.7) > 0.05 {
+		t.Errorf("utilization = %g, want ~0.7", res.AvgUtilization)
+	}
+	// Minimum reception delay now scales with packet length (~4 slots per
+	// hop), so the mean must exceed the unit-length distance bound.
+	if res.Reception.Mean() < s.AvgDistance()*2 {
+		t.Errorf("variable-length reception delay = %g suspiciously small", res.Reception.Mean())
+	}
+}
+
+// TestHypercubeBroadcast: the 2-ary d-cube path — every dimension is a
+// 2-ring with a single link — must deliver all copies.
+func TestHypercubeBroadcast(t *testing.T) {
+	s, err := torus.Hypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := traffic.RatesForRho(s, 0.5, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 4, Warmup: 1000, Measure: 4000, Drain: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reception.Count() == 0 {
+		t.Fatal("no receptions on the hypercube")
+	}
+	// Low-load-ish check: reception delay close to the average distance
+	// d/2 * N/(N-1).
+	want := s.AvgDistance()
+	if math.Abs(res.Reception.Mean()-want) > 1.5 {
+		t.Errorf("hypercube reception delay = %g, want ~%g", res.Reception.Mean(), want)
+	}
+	if math.Abs(res.AvgUtilization-0.5) > 0.05 {
+		t.Errorf("hypercube utilization = %g, want ~0.5", res.AvgUtilization)
+	}
+}
+
+// TestSingleRing: a 1-dimensional torus is the smallest valid substrate.
+func TestSingleRing(t *testing.T) {
+	res := run(t, []int{8}, core.TwoLevel, core.BalancedRotation, 0.5, 0.5, 10)
+	if res.Reception.Count() == 0 || res.Unicast.Count() == 0 {
+		t.Fatal("single ring should carry traffic")
+	}
+	if !res.Stable(torus.MustNew(8)) {
+		t.Error("single ring at rho=0.5 should be stable")
+	}
+}
+
+// TestBroadcastDeliveryCountExact: every measured broadcast task that
+// completes delivers to exactly N-1 nodes — reception count bookkeeping.
+func TestBroadcastDeliveryCountExact(t *testing.T) {
+	res := run(t, []int{4, 4}, core.TwoLevel, core.BalancedRotation, 0.3, 1, 11)
+	completed := res.Broadcast.Count()
+	incomplete := res.IncompleteBroadcasts
+	if completed+incomplete != res.GeneratedBroadcasts {
+		t.Errorf("completed %d + incomplete %d != generated %d",
+			completed, incomplete, res.GeneratedBroadcasts)
+	}
+	// Receptions: each completed task contributes exactly N-1; incomplete
+	// tasks contribute fewer.
+	n := int64(15)
+	minRec := completed * n
+	maxRec := completed*n + incomplete*n
+	if res.Reception.Count() < minRec || res.Reception.Count() > maxRec {
+		t.Errorf("reception count %d outside [%d, %d]", res.Reception.Count(), minRec, maxRec)
+	}
+}
+
+// TestMeasurementWindowExcludesWarmup: nothing measured is born before
+// warmup, so delays cannot reference pre-window births.
+func TestMeasurementWindowExcludesWarmup(t *testing.T) {
+	res := run(t, []int{4, 4}, core.TwoLevel, core.BalancedRotation, 0.3, 0.5, 12)
+	if res.Reception.Min() < 1 {
+		t.Errorf("minimum reception delay %g < 1 slot", res.Reception.Min())
+	}
+	if res.Unicast.Min() < 1 {
+		t.Errorf("minimum unicast delay %g < 1 slot", res.Unicast.Min())
+	}
+}
+
+func TestOverlapHelper(t *testing.T) {
+	cases := []struct{ a, b, lo, hi, want int64 }{
+		{0, 10, 2, 5, 3},
+		{0, 10, 0, 10, 10},
+		{5, 6, 0, 10, 1},
+		{0, 2, 5, 10, 0},
+		{8, 12, 0, 10, 2},
+		{12, 15, 0, 10, 0},
+	}
+	for _, c := range cases {
+		if got := overlap(c.a, c.b, c.lo, c.hi); got != c.want {
+			t.Errorf("overlap(%d,%d,%d,%d) = %d, want %d", c.a, c.b, c.lo, c.hi, got, c.want)
+		}
+	}
+}

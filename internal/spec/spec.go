@@ -1,0 +1,176 @@
+// Package spec serializes experiment definitions to and from JSON so
+// sweeps can be stored in files, shared, and replayed exactly (the
+// `starsim -spec` flag). A spec file mirrors sweep.Experiment with
+// human-friendly string encodings for schemes, packet lengths, and the
+// distance model.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/cli"
+	"prioritystar/internal/core"
+	"prioritystar/internal/sweep"
+	"prioritystar/internal/traffic"
+)
+
+// Scheme is the JSON form of a sweep.SchemeSpec: either a predefined name
+// ("priority-star", "fcfs-direct", ...) or explicit fields.
+type Scheme struct {
+	Name       string `json:"name,omitempty"`
+	Discipline string `json:"discipline,omitempty"` // fcfs | 2-level | 3-level
+	Rotation   string `json:"rotation,omitempty"`   // balanced | uniform | fixed
+	Separate   bool   `json:"separate,omitempty"`   // Eq. 2 balancing despite unicast
+}
+
+// Experiment is the JSON form of a sweep.Experiment.
+type Experiment struct {
+	ID            string    `json:"id"`
+	Title         string    `json:"title,omitempty"`
+	Notes         string    `json:"notes,omitempty"`
+	Dims          []int     `json:"dims"`
+	Rhos          []float64 `json:"rhos"`
+	BroadcastFrac float64   `json:"broadcastFrac"`
+	Schemes       []Scheme  `json:"schemes"`
+	Length        string    `json:"length,omitempty"` // fixed:N | geom:MEAN
+	Model         string    `json:"model,omitempty"`  // exact | floor
+	Warmup        int64     `json:"warmup"`
+	Measure       int64     `json:"measure"`
+	Drain         int64     `json:"drain"`
+	Reps          int       `json:"reps"`
+	Seed          uint64    `json:"seed"`
+}
+
+func parseDiscipline(s string) (core.Discipline, error) {
+	switch strings.ToLower(s) {
+	case "", "fcfs":
+		return core.FCFS, nil
+	case "2-level", "two-level":
+		return core.TwoLevel, nil
+	case "3-level", "three-level":
+		return core.ThreeLevel, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown discipline %q", s)
+	}
+}
+
+func parseRotation(s string) (core.Rotation, error) {
+	switch strings.ToLower(s) {
+	case "", "balanced":
+		return core.BalancedRotation, nil
+	case "uniform":
+		return core.UniformRotation, nil
+	case "fixed":
+		return core.FixedEnding, nil
+	default:
+		return 0, fmt.Errorf("spec: unknown rotation %q", s)
+	}
+}
+
+// resolve converts the JSON scheme into a sweep.SchemeSpec.
+func (s Scheme) resolve() (sweep.SchemeSpec, error) {
+	if s.Name != "" && s.Discipline == "" && s.Rotation == "" {
+		return cli.SchemeByName(s.Name)
+	}
+	d, err := parseDiscipline(s.Discipline)
+	if err != nil {
+		return sweep.SchemeSpec{}, err
+	}
+	r, err := parseRotation(s.Rotation)
+	if err != nil {
+		return sweep.SchemeSpec{}, err
+	}
+	name := s.Name
+	if name == "" {
+		name = fmt.Sprintf("%s/%s", d, r)
+		if s.Separate {
+			name += "/separate"
+		}
+	}
+	return sweep.SchemeSpec{Name: name, Discipline: d, Rotation: r, SeparateBalance: s.Separate}, nil
+}
+
+// ToSweep converts a decoded spec into a runnable experiment.
+func (e *Experiment) ToSweep() (*sweep.Experiment, error) {
+	out := &sweep.Experiment{
+		ID: e.ID, Title: e.Title, Notes: e.Notes,
+		Dims: e.Dims, Rhos: e.Rhos, BroadcastFrac: e.BroadcastFrac,
+		Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
+		Reps: e.Reps, BaseSeed: e.Seed,
+	}
+	for _, s := range e.Schemes {
+		spec, err := s.resolve()
+		if err != nil {
+			return nil, err
+		}
+		out.Schemes = append(out.Schemes, spec)
+	}
+	if e.Length != "" {
+		l, err := cli.ParseLength(e.Length)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		out.Length = l
+	}
+	switch strings.ToLower(e.Model) {
+	case "", "exact":
+		out.Model = balance.ExactDistance
+	case "floor", "paper", "paper-floor":
+		out.Model = balance.PaperFloorDistance
+	default:
+		return nil, fmt.Errorf("spec: unknown distance model %q", e.Model)
+	}
+	return out, nil
+}
+
+// Load decodes a JSON experiment spec and converts it.
+func Load(r io.Reader) (*sweep.Experiment, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var e Experiment
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	return e.ToSweep()
+}
+
+// FromSweep converts a runnable experiment back into its JSON form.
+func FromSweep(e *sweep.Experiment) *Experiment {
+	out := &Experiment{
+		ID: e.ID, Title: e.Title, Notes: e.Notes,
+		Dims: e.Dims, Rhos: e.Rhos, BroadcastFrac: e.BroadcastFrac,
+		Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
+		Reps: e.Reps, Seed: e.BaseSeed,
+	}
+	for _, s := range e.Schemes {
+		out.Schemes = append(out.Schemes, Scheme{
+			Name:       s.Name,
+			Discipline: s.Discipline.String(),
+			Rotation:   s.Rotation.String(),
+			Separate:   s.SeparateBalance,
+		})
+	}
+	switch e.Length.Kind() {
+	case traffic.KindGeometric:
+		out.Length = fmt.Sprintf("geom:%g", e.Length.Mean())
+	default:
+		out.Length = fmt.Sprintf("fixed:%d", int(e.Length.Mean()))
+	}
+	if e.Model == balance.PaperFloorDistance {
+		out.Model = "floor"
+	} else {
+		out.Model = "exact"
+	}
+	return out
+}
+
+// Save encodes the experiment as indented JSON.
+func Save(w io.Writer, e *sweep.Experiment) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(FromSweep(e))
+}

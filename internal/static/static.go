@@ -1,0 +1,135 @@
+// Package static evaluates the classical *static* communication tasks the
+// paper's introduction contrasts with the dynamic environment: a single
+// broadcast, the multinode broadcast (MNB, every node broadcasts one
+// packet), and total exchange (TE, every node sends a distinct packet to
+// every other node). Tasks are injected as an impulse at slot 0 into the
+// dynamic simulator and run to completion; the makespan is compared against
+// the standard transmission/bandwidth lower bounds.
+//
+// These measurements show that the STAR machinery is also an efficient
+// one-shot schedule: balanced trees keep the MNB and TE makespans within a
+// small constant of the per-link bandwidth bounds.
+package static
+
+import (
+	"fmt"
+
+	"prioritystar/internal/core"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/torus"
+)
+
+// Task identifies a static communication task.
+type Task int
+
+// The static tasks of the paper's introduction.
+const (
+	// SingleBroadcast: one node broadcasts one packet.
+	SingleBroadcast Task = iota
+	// MultinodeBroadcast: every node broadcasts one packet (MNB).
+	MultinodeBroadcast
+	// TotalExchange: every node sends a personalized packet to every other
+	// node (TE).
+	TotalExchange
+)
+
+// String names the task.
+func (t Task) String() string {
+	switch t {
+	case SingleBroadcast:
+		return "single broadcast"
+	case MultinodeBroadcast:
+		return "multinode broadcast"
+	case TotalExchange:
+		return "total exchange"
+	default:
+		return fmt.Sprintf("task(%d)", int(t))
+	}
+}
+
+// LowerBound returns the classical makespan lower bound in slots: the
+// network diameter (a packet must reach the farthest node) and the
+// bandwidth bound (packets that must cross a node boundary divided by the
+// links available), whichever is larger.
+func LowerBound(s *torus.Shape, t Task) int64 {
+	diameter := int64(s.Diameter())
+	var bandwidth int64
+	n := int64(s.Size())
+	degree := int64(s.Degree())
+	switch t {
+	case SingleBroadcast:
+		bandwidth = 0 // one packet; the diameter dominates
+	case MultinodeBroadcast:
+		// Every node must receive N-1 packets over its incoming links.
+		bandwidth = ceilDiv(n-1, degree)
+	case TotalExchange:
+		// Average-case per-link load: N(N-1) packets travelling D_ave hops
+		// over L links; for a (vertex-transitive) torus this is also the
+		// per-node ejection bound (N-1 arrivals over degree links).
+		total := float64(n) * float64(n-1) * s.AvgDistance()
+		bandwidth = int64(total / float64(s.Links()))
+		if eject := ceilDiv(n-1, degree); eject > bandwidth {
+			bandwidth = eject
+		}
+	}
+	if bandwidth > diameter {
+		return bandwidth
+	}
+	return diameter
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// Result holds a static task's measured completion.
+type Result struct {
+	Task       Task
+	Makespan   int64   // slots until the last delivery
+	LowerBound int64   // classical bound for the same task
+	Efficiency float64 // LowerBound / Makespan, in (0, 1]
+}
+
+// Run executes the task on shape s using the given scheme (priority STAR's
+// balanced trees unless specified otherwise) and measures the makespan. The
+// horizon caps the run; an error is returned if the task does not complete.
+func Run(s *torus.Shape, sch *core.Scheme, t Task, seed uint64) (*Result, error) {
+	lb := LowerBound(s, t)
+	horizon := 16*lb + 64
+	cfg := sim.Config{
+		Shape: s, Scheme: sch, Seed: seed,
+		Warmup: 0, Measure: horizon, Drain: 0,
+	}
+	switch t {
+	case SingleBroadcast:
+		cfg.SingleBroadcast = true
+	case MultinodeBroadcast:
+		cfg.ImpulseBroadcasts = 1
+	case TotalExchange:
+		cfg.ImpulseTotalExchange = true
+	default:
+		return nil, fmt.Errorf("static: unknown task %v", t)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var makespan int64
+	switch t {
+	case TotalExchange:
+		if res.IncompleteUnicasts > 0 {
+			return nil, fmt.Errorf("static: %v incomplete (%d packets undelivered at horizon %d)",
+				t, res.IncompleteUnicasts, horizon)
+		}
+		makespan = int64(res.Unicast.Max())
+	default:
+		if res.IncompleteBroadcasts > 0 {
+			return nil, fmt.Errorf("static: %v incomplete (%d tasks unfinished at horizon %d)",
+				t, res.IncompleteBroadcasts, horizon)
+		}
+		makespan = int64(res.Broadcast.Max())
+	}
+	out := &Result{Task: t, Makespan: makespan, LowerBound: lb}
+	if makespan > 0 {
+		out.Efficiency = float64(lb) / float64(makespan)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package static
+
+import (
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+func scheme(t *testing.T, s *torus.Shape) *core.Scheme {
+	t.Helper()
+	sch, err := core.PrioritySTAR(s, traffic.Rates{LambdaB: 1}, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestTaskStrings(t *testing.T) {
+	if SingleBroadcast.String() == "" || MultinodeBroadcast.String() == "" ||
+		TotalExchange.String() == "" || Task(9).String() == "" {
+		t.Error("task names must be nonempty")
+	}
+}
+
+func TestLowerBounds(t *testing.T) {
+	s := torus.MustNew(8, 8) // N=64, degree=4, diameter=8
+	if lb := LowerBound(s, SingleBroadcast); lb != 8 {
+		t.Errorf("single broadcast bound = %d, want diameter 8", lb)
+	}
+	// MNB: ceil(63/4) = 16 > diameter.
+	if lb := LowerBound(s, MultinodeBroadcast); lb != 16 {
+		t.Errorf("MNB bound = %d, want 16", lb)
+	}
+	// TE: 64*63*D_ave/256 ~ 64*63*4.06/256 ~ 64 slots.
+	lb := LowerBound(s, TotalExchange)
+	if lb < 60 || lb > 70 {
+		t.Errorf("TE bound = %d, want ~64", lb)
+	}
+}
+
+func TestLowerBoundDiameterDominates(t *testing.T) {
+	// Long skinny ring: diameter dominates the MNB bandwidth bound.
+	s := torus.MustNew(16)
+	if lb := LowerBound(s, MultinodeBroadcast); lb != 8 {
+		t.Errorf("ring MNB bound = %d, want diameter 8", lb)
+	}
+}
+
+// TestSingleBroadcastMakespanIsDiameter: with an empty network the
+// nonidling STAR broadcast completes in exactly diameter slots (no two tree
+// edges share a link).
+func TestSingleBroadcastMakespanIsDiameter(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {4, 4, 8}, {5, 5}} {
+		s := torus.MustNew(dims...)
+		res, err := Run(s, scheme(t, s), SingleBroadcast, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if res.Makespan != int64(s.Diameter()) {
+			t.Errorf("%v: makespan %d, want diameter %d", dims, res.Makespan, s.Diameter())
+		}
+		if res.Efficiency != 1 {
+			t.Errorf("%v: efficiency %g, want 1", dims, res.Efficiency)
+		}
+	}
+}
+
+// TestMNBWithinConstantOfBound: balanced STAR trees complete the multinode
+// broadcast within a small constant factor of the bandwidth bound.
+func TestMNBWithinConstantOfBound(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {4, 8}} {
+		s := torus.MustNew(dims...)
+		res, err := Run(s, scheme(t, s), MultinodeBroadcast, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if res.Makespan < res.LowerBound {
+			t.Errorf("%v: makespan %d below bound %d", dims, res.Makespan, res.LowerBound)
+		}
+		if res.Efficiency < 0.35 {
+			t.Errorf("%v: MNB efficiency %.2f too low (makespan %d, bound %d)",
+				dims, res.Efficiency, res.Makespan, res.LowerBound)
+		}
+	}
+}
+
+// TestTotalExchangeWithinConstantOfBound: shortest-path routing with
+// randomized tie-breaking completes TE near the per-link bandwidth bound.
+func TestTotalExchangeWithinConstantOfBound(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	res, err := Run(s, scheme(t, s), TotalExchange, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < res.LowerBound {
+		t.Errorf("makespan %d below bound %d", res.Makespan, res.LowerBound)
+	}
+	if res.Efficiency < 0.35 {
+		t.Errorf("TE efficiency %.2f too low (makespan %d, bound %d)",
+			res.Efficiency, res.Makespan, res.LowerBound)
+	}
+}
+
+// TestMNBBalancedBeatsDimOrder: on an asymmetric torus the balanced trees
+// finish the MNB sooner than fixed dimension-ordered trees, the static-task
+// echo of the throughput result.
+func TestMNBBalancedBeatsDimOrder(t *testing.T) {
+	s := torus.MustNew(4, 8)
+	star := scheme(t, s)
+	dimOrder, err := core.DimOrderFCFS(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStar, err := Run(s, star, MultinodeBroadcast, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDim, err := Run(s, dimOrder, MultinodeBroadcast, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resStar.Makespan >= resDim.Makespan {
+		t.Errorf("balanced MNB makespan %d should beat dim-order %d",
+			resStar.Makespan, resDim.Makespan)
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	if _, err := Run(s, scheme(t, s), Task(42), 1); err == nil {
+		t.Error("unknown task should error")
+	}
+}

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// CappedMetric selects which delay a DelayCappedThroughput search bounds.
+type CappedMetric int
+
+// Delay metrics a throughput search can cap.
+const (
+	CapReception CappedMetric = iota
+	CapBroadcast
+	CapUnicast
+)
+
+// DelayCappedThroughput estimates, by bisection, the largest throughput
+// factor at which a scheme keeps the chosen average delay at or below
+// maxDelay. This quantifies the Section 3.2 observation that under a delay
+// budget a priority-based scheme sustains strictly higher throughput than
+// FCFS. Unstable probes count as exceeding any cap.
+func DelayCappedThroughput(dims []int, spec SchemeSpec, broadcastFrac float64,
+	m balance.DistanceModel, metric CappedMetric, maxDelay float64,
+	probeSlots int64, seed uint64, lo, hi, tol float64) (float64, error) {
+	if maxDelay <= 0 {
+		return 0, fmt.Errorf("sweep: delay cap must be positive, got %g", maxDelay)
+	}
+	if metric == CapUnicast && broadcastFrac >= 1 {
+		return 0, fmt.Errorf("sweep: unicast cap needs unicast traffic (broadcastFrac < 1)")
+	}
+	shape, err := torus.New(dims...)
+	if err != nil {
+		return 0, err
+	}
+	within := func(rho float64) (bool, error) {
+		rates, err := traffic.RatesForRho(shape, rho, broadcastFrac, 1, m)
+		if err != nil {
+			return false, err
+		}
+		sch, err := spec.Build(shape, rates, m)
+		if err != nil {
+			return false, err
+		}
+		res, err := sim.Run(sim.Config{
+			Shape: shape, Scheme: sch, Rates: rates,
+			Seed:   seed ^ math.Float64bits(rho),
+			Warmup: probeSlots / 4, Measure: probeSlots, Drain: probeSlots / 2,
+			MaxBacklog: int64(shape.Links()) * probeSlots / 16,
+		})
+		if err != nil {
+			return false, err
+		}
+		if !res.Stable(shape) {
+			return false, nil
+		}
+		var d float64
+		switch metric {
+		case CapBroadcast:
+			d = res.Broadcast.Mean()
+		case CapUnicast:
+			d = res.Unicast.Mean()
+		default:
+			d = res.Reception.Mean()
+		}
+		return d <= maxDelay, nil
+	}
+	ok, err := within(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := within(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

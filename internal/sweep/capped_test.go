@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"testing"
+
+	"prioritystar/internal/balance"
+)
+
+func TestDelayCappedThroughputValidation(t *testing.T) {
+	if _, err := DelayCappedThroughput([]int{4, 4}, PrioritySTARSpec, 1,
+		balance.ExactDistance, CapReception, 0, 1000, 1, 0.1, 0.9, 0.1); err == nil {
+		t.Error("zero cap should fail")
+	}
+	if _, err := DelayCappedThroughput([]int{4, 4}, PrioritySTARSpec, 1,
+		balance.ExactDistance, CapUnicast, 10, 1000, 1, 0.1, 0.9, 0.1); err == nil {
+		t.Error("unicast cap without unicast traffic should fail")
+	}
+	if _, err := DelayCappedThroughput([]int{1}, PrioritySTARSpec, 1,
+		balance.ExactDistance, CapReception, 10, 1000, 1, 0.1, 0.9, 0.1); err == nil {
+		t.Error("bad shape should fail")
+	}
+}
+
+// TestDelayCappedThroughputPriorityWins quantifies the Section 3.2 remark:
+// under a reception-delay budget, priority STAR sustains a strictly higher
+// throughput factor than the FCFS baseline.
+func TestDelayCappedThroughputPriorityWins(t *testing.T) {
+	// Cap at ~1.6x the uncontended delay on a 4x8 torus (avg distance
+	// ~2.58 -> cap 4.2 slots).
+	const cap = 4.2
+	prio, err := DelayCappedThroughput([]int{4, 8}, PrioritySTARSpec, 1,
+		balance.ExactDistance, CapReception, cap, 3000, 17, 0.2, 1.0, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfs, err := DelayCappedThroughput([]int{4, 8}, FCFSDirectSpec, 1,
+		balance.ExactDistance, CapReception, cap, 3000, 17, 0.2, 1.0, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio <= fcfs {
+		t.Errorf("delay-capped throughput: priority %g should exceed FCFS %g", prio, fcfs)
+	}
+	if prio < 0.4 || prio > 1.0 {
+		t.Errorf("priority capped throughput %g implausible", prio)
+	}
+}
+
+// TestDelayCappedThroughputTightCap: an unattainably tight cap returns lo.
+func TestDelayCappedThroughputTightCap(t *testing.T) {
+	got, err := DelayCappedThroughput([]int{4, 8}, FCFSDirectSpec, 1,
+		balance.ExactDistance, CapReception, 0.5 /* below min distance */, 1500, 3, 0.2, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.2 {
+		t.Errorf("tight cap should return lo, got %g", got)
+	}
+}
+
+// TestDelayCappedBroadcastMetric exercises the broadcast-delay cap path.
+func TestDelayCappedBroadcastMetric(t *testing.T) {
+	got, err := DelayCappedThroughput([]int{4, 4}, PrioritySTARSpec, 1,
+		balance.ExactDistance, CapBroadcast, 8, 2000, 5, 0.2, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.2 || got > 1.0 {
+		t.Errorf("broadcast-capped throughput %g out of range", got)
+	}
+}
+
+// TestDelayCappedUnicastMetric exercises the unicast-delay cap path with
+// mixed traffic.
+func TestDelayCappedUnicastMetric(t *testing.T) {
+	got, err := DelayCappedThroughput([]int{4, 4}, PrioritySTAR3Spec, 0.5,
+		balance.ExactDistance, CapUnicast, 4, 2000, 5, 0.2, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prioritized unicast stays near distance (~2.1) essentially forever.
+	if got < 0.7 {
+		t.Errorf("prioritized unicast capped throughput %g, want high", got)
+	}
+}

@@ -1,0 +1,174 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/traffic"
+)
+
+// Scale selects how much simulation effort a predefined experiment spends.
+type Scale int
+
+const (
+	// Quick is sized for tests and smoke runs: a coarse rho grid and short
+	// windows. Shapes are still the paper's.
+	Quick Scale = iota
+	// Standard reproduces every figure with tight-enough confidence
+	// intervals in minutes on a laptop.
+	Standard
+	// Full uses long windows and more replications for publication-grade
+	// curves.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Standard:
+		return "standard"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("scale(%d)", int(s))
+	}
+}
+
+func (s Scale) params() (warmup, measure, drain int64, reps int, rhos []float64) {
+	switch s {
+	case Quick:
+		return 1000, 3000, 1500, 2, []float64{0.1, 0.5, 0.8}
+	case Full:
+		return 5000, 30000, 10000, 5,
+			[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+	default: // Standard
+		return 3000, 10000, 4000, 3,
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+	}
+}
+
+// figureBuilders constructs every predefined experiment at a given scale.
+// Keys are experiment IDs; the Notes field records which paper figure(s)
+// each experiment regenerates.
+var figureBuilders = map[string]func(Scale) *Experiment{
+	"fig2+5": func(s Scale) *Experiment { return broadcastFigure(s, "fig2+5", "Figs. 2 and 5", []int{8, 8}) },
+	"fig3+6": func(s Scale) *Experiment { return broadcastFigure(s, "fig3+6", "Figs. 3 and 6", []int{16, 16}) },
+	"fig4+7": func(s Scale) *Experiment { return broadcastFigure(s, "fig4+7", "Figs. 4 and 7", []int{8, 8, 8}) },
+	"fig8-hetero-delay": func(s Scale) *Experiment {
+		w, m, d, reps, rhos := s.params()
+		return &Experiment{
+			ID:    "fig8-hetero-delay",
+			Title: "Heterogeneous traffic: unicast and reception delay vs rho",
+			Notes: "Fig. 8 / Section 4: 50% unicast + 50% broadcast load; priority keeps unicast delay O(d)",
+			Dims:  []int{8, 8}, Rhos: rhos, BroadcastFrac: 0.5,
+			Schemes: []SchemeSpec{PrioritySTAR3Spec, PrioritySTARSpec, FCFSDirectSpec},
+			Model:   balance.ExactDistance,
+			Warmup:  w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xf18b,
+		}
+	},
+	"fig8-balance": func(s Scale) *Experiment {
+		w, m, d, reps, _ := s.params()
+		return &Experiment{
+			ID:    "fig8-balance",
+			Title: "Asymmetric torus: joint (Eq. 4) vs separate (Eq. 2) balancing",
+			Notes: "Section 1/4 example: 4x4x8 torus, 50/50 traffic; separate balancing saturates its long dimension well before rho = 1",
+			Dims:  []int{4, 4, 8}, Rhos: []float64{0.5, 0.6, 0.7, 0.75, 0.78, 0.82, 0.85, 0.9, 0.95},
+			BroadcastFrac: 0.5,
+			Schemes:       []SchemeSpec{PrioritySTARSpec, SeparatePrioSpec, SeparateSpec},
+			Model:         balance.ExactDistance,
+			Warmup:        w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xf18c,
+		}
+	},
+	"ablation-matrix": func(s Scale) *Experiment {
+		w, m, d, reps, rhos := s.params()
+		return &Experiment{
+			ID:    "ablation-matrix",
+			Title: "Ablation: rotation policy x priority discipline on an asymmetric torus",
+			Notes: "Isolates the two ingredients of priority STAR (balanced rotation, priority) on a 4x8 torus",
+			Dims:  []int{4, 8}, Rhos: rhos, BroadcastFrac: 1,
+			Schemes: []SchemeSpec{
+				PrioritySTARSpec, FCFSDirectSpec,
+				UniformPrioSpec, UniformFCFSSpec,
+				DimOrderPrioSpec, DimOrderSpec,
+			},
+			Model:  balance.ExactDistance,
+			Warmup: w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xab1a,
+		}
+	},
+	"ablation-varlen": func(s Scale) *Experiment {
+		w, m, d, reps, rhos := s.params()
+		return &Experiment{
+			ID:    "ablation-varlen",
+			Title: "Variable-length broadcast packets (geometric, mean 4)",
+			Notes: "Section 3.2 claim: priority STAR applies unmodified to variable-length packets",
+			Dims:  []int{8, 8}, Rhos: rhos, BroadcastFrac: 1,
+			Schemes: []SchemeSpec{PrioritySTARSpec, FCFSDirectSpec},
+			Length:  traffic.GeometricLength(4),
+			Model:   balance.ExactDistance,
+			Warmup:  w * 2, Measure: m * 2, Drain: d * 2, Reps: reps, BaseSeed: 0xab1b,
+		}
+	},
+	"ablation-hypercube": func(s Scale) *Experiment {
+		w, m, d, reps, rhos := s.params()
+		return &Experiment{
+			ID:    "ablation-hypercube",
+			Title: "Hypercube (2-ary 8-cube) random broadcasting",
+			Notes: "The companion [21] setting: hypercubes are the n=2 special case of the torus scheme",
+			Dims:  []int{2, 2, 2, 2, 2, 2, 2, 2}, Rhos: rhos, BroadcastFrac: 1,
+			Schemes: []SchemeSpec{PrioritySTARSpec, FCFSDirectSpec},
+			Model:   balance.ExactDistance,
+			Warmup:  w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xab1c,
+		}
+	},
+	"ablation-floor-model": func(s Scale) *Experiment {
+		w, m, d, reps, _ := s.params()
+		return &Experiment{
+			ID:    "ablation-floor-model",
+			Title: "Balancing with the paper's floor(n/4) distances instead of exact",
+			Notes: "Section 4 approximation: floor distances leave a small residual imbalance on 4x4x8",
+			Dims:  []int{4, 4, 8}, Rhos: []float64{0.5, 0.7, 0.85, 0.95}, BroadcastFrac: 0.5,
+			Schemes: []SchemeSpec{PrioritySTARSpec},
+			Model:   balance.PaperFloorDistance,
+			Warmup:  w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xab1d,
+		}
+	},
+}
+
+// broadcastFigure builds the broadcast-only delay experiments behind
+// Figs. 2-7 (each topology yields both the reception-delay and the
+// broadcast-delay figure from the same runs).
+func broadcastFigure(s Scale, id, notes string, dims []int) *Experiment {
+	w, m, d, reps, rhos := s.params()
+	return &Experiment{
+		ID:    id,
+		Title: fmt.Sprintf("Random broadcasting on %s: priority STAR vs FCFS direct", shapeName(dims)),
+		Notes: notes + ": reception delay and broadcast delay vs throughput factor",
+		Dims:  dims, Rhos: rhos, BroadcastFrac: 1,
+		Schemes: []SchemeSpec{PrioritySTARSpec, FCFSDirectSpec},
+		Model:   balance.ExactDistance,
+		Warmup:  w, Measure: m, Drain: d, Reps: reps, BaseSeed: 0xf125,
+	}
+}
+
+// FigureIDs lists the predefined experiment IDs in stable order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureBuilders))
+	for id := range figureBuilders {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Figure returns the predefined experiment with the given ID at the given
+// scale.
+func Figure(id string, scale Scale) (*Experiment, error) {
+	b, ok := figureBuilders[id]
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown experiment %q (known: %v)", id, FigureIDs())
+	}
+	return b(scale), nil
+}

@@ -1,0 +1,526 @@
+// Package sweep is the experiment harness: it runs replicated simulations
+// over a grid of throughput factors for several routing schemes in
+// parallel, aggregates the delay and utilization statistics, and renders
+// the series that correspond to the paper's figures.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/plot"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/stats"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// SchemeSpec names a routing-scheme configuration under comparison.
+type SchemeSpec struct {
+	Name       string
+	Discipline core.Discipline
+	Rotation   core.Rotation
+	// SeparateBalance computes the ending-dimension vector ignoring the
+	// unicast load (Eq. 2 instead of Eq. 4) — the paper's model of
+	// "previous methods" that handle broadcast and unicast separately.
+	SeparateBalance bool
+}
+
+// The scheme configurations used throughout the paper's evaluation.
+var (
+	// PrioritySTARSpec is the paper's proposal (balanced rotation,
+	// 2-level priority).
+	PrioritySTARSpec = SchemeSpec{Name: "priority-STAR", Discipline: core.TwoLevel, Rotation: core.BalancedRotation}
+	// PrioritySTAR3Spec is the 3-level heterogeneous variant of Section 4.
+	PrioritySTAR3Spec = SchemeSpec{Name: "priority-STAR-3", Discipline: core.ThreeLevel, Rotation: core.BalancedRotation}
+	// FCFSDirectSpec is the figures' baseline: the FCFS generalization of
+	// the direct scheme in [12] (balanced trees, single service class).
+	FCFSDirectSpec = SchemeSpec{Name: "FCFS-direct", Discipline: core.FCFS, Rotation: core.BalancedRotation}
+	// DimOrderSpec is classical dimension-ordered broadcast (no rotation).
+	DimOrderSpec = SchemeSpec{Name: "dim-order-FCFS", Discipline: core.FCFS, Rotation: core.FixedEnding}
+	// SeparateSpec balances broadcast in isolation while unicast follows
+	// shortest paths — the Section 1 "previous methods" example.
+	SeparateSpec = SchemeSpec{Name: "separate-FCFS", Discipline: core.FCFS, Rotation: core.BalancedRotation, SeparateBalance: true}
+	// SeparatePrioSpec is separate balancing with the 2-level priorities.
+	SeparatePrioSpec = SchemeSpec{Name: "separate-prio", Discipline: core.TwoLevel, Rotation: core.BalancedRotation, SeparateBalance: true}
+	// UniformFCFSSpec rotates uniformly regardless of shape (ablation).
+	UniformFCFSSpec = SchemeSpec{Name: "uniform-FCFS", Discipline: core.FCFS, Rotation: core.UniformRotation}
+	// UniformPrioSpec is uniform rotation with priorities (ablation).
+	UniformPrioSpec = SchemeSpec{Name: "uniform-prio", Discipline: core.TwoLevel, Rotation: core.UniformRotation}
+	// DimOrderPrioSpec is fixed ending with priorities (ablation).
+	DimOrderPrioSpec = SchemeSpec{Name: "dim-order-prio", Discipline: core.TwoLevel, Rotation: core.FixedEnding}
+)
+
+// Build resolves the spec into a core.Scheme for the given shape and
+// offered traffic.
+func (spec SchemeSpec) Build(s *torus.Shape, rates traffic.Rates, m balance.DistanceModel) (*core.Scheme, error) {
+	if spec.SeparateBalance {
+		rates.LambdaR = 0
+	}
+	return core.NewScheme(s, spec.Discipline, spec.Rotation, rates, m)
+}
+
+// Experiment describes one sweep: a topology, a traffic mix, a rho grid,
+// and the schemes to compare.
+type Experiment struct {
+	ID    string
+	Title string
+	// Notes records what the experiment reproduces (figure numbers etc.).
+	Notes string
+
+	Dims          []int
+	Rhos          []float64
+	BroadcastFrac float64 // fraction of transmission load from broadcasts
+	Schemes       []SchemeSpec
+	Length        traffic.LengthDist
+	Model         balance.DistanceModel
+
+	Warmup, Measure, Drain int64
+	Reps                   int
+	BaseSeed               uint64
+	MaxBacklog             int64
+	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (e *Experiment) validate() error {
+	if len(e.Dims) == 0 {
+		return fmt.Errorf("sweep %q: no dimensions", e.ID)
+	}
+	if len(e.Rhos) == 0 {
+		return fmt.Errorf("sweep %q: no rho grid", e.ID)
+	}
+	if len(e.Schemes) == 0 {
+		return fmt.Errorf("sweep %q: no schemes", e.ID)
+	}
+	if e.Reps <= 0 {
+		return fmt.Errorf("sweep %q: Reps must be positive", e.ID)
+	}
+	if e.Measure <= 0 {
+		return fmt.Errorf("sweep %q: Measure must be positive", e.ID)
+	}
+	return nil
+}
+
+// Point aggregates the replications of one (scheme, rho) cell.
+type Point struct {
+	Rho        float64
+	Reception  stats.Summary
+	Broadcast  stats.Summary
+	Unicast    stats.Summary
+	HighWait   stats.Summary // queue wait of class 0
+	LowWait    stats.Summary // queue wait of the lowest class in use
+	AvgUtil    stats.Summary
+	MaxDimUtil stats.Summary
+
+	GeneratedBroadcasts  int64
+	IncompleteBroadcasts int64
+	UnstableReps         int
+}
+
+// Series is one scheme's curve over the rho grid.
+type Series struct {
+	Scheme SchemeSpec
+	Points []Point
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Exp     *Experiment
+	Series  []Series
+	Elapsed time.Duration
+}
+
+type cellKey struct{ scheme, rho int }
+
+// Run executes every (scheme, rho, rep) simulation, fanning out across a
+// bounded worker pool, and aggregates per-cell summaries. Seeds are derived
+// deterministically from BaseSeed, so a Result is reproducible regardless
+// of scheduling.
+func (e *Experiment) Run() (*Result, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	shape, err := torus.New(e.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+	}
+
+	type job struct {
+		key cellKey
+		rep int
+		cfg sim.Config
+	}
+	var jobs []job
+	for si, spec := range e.Schemes {
+		for ri, rho := range e.Rhos {
+			rates, err := traffic.RatesForRho(shape, rho, e.BroadcastFrac, e.Length.Mean(), e.Model)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+			}
+			sch, err := spec.Build(shape, rates, e.Model)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %q, scheme %q: %w", e.ID, spec.Name, err)
+			}
+			for rep := 0; rep < e.Reps; rep++ {
+				seed := e.BaseSeed ^ (uint64(si)+1)<<40 ^ (uint64(ri)+1)<<20 ^ uint64(rep+1)
+				jobs = append(jobs, job{
+					key: cellKey{si, ri},
+					rep: rep,
+					cfg: sim.Config{
+						Shape: shape, Scheme: sch, Rates: rates,
+						Length: e.Length, Seed: seed,
+						Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
+						MaxBacklog: e.MaxBacklog,
+					},
+				})
+			}
+		}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	type outcome struct {
+		key cellKey
+		res *sim.Result
+		err error
+	}
+	start := time.Now()
+	jobCh := make(chan job)
+	outCh := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				res, err := sim.Run(j.cfg)
+				outCh <- outcome{key: j.key, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	cells := make(map[cellKey]*Point)
+	shapes := shape // for Stable()
+	var firstErr error
+	for out := range outCh {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		p := cells[out.key]
+		if p == nil {
+			p = &Point{Rho: e.Rhos[out.key.rho]}
+			cells[out.key] = p
+		}
+		r := out.res
+		p.Reception.AddRep(r.Reception.Mean())
+		p.Broadcast.AddRep(r.Broadcast.Mean())
+		p.Unicast.AddRep(r.Unicast.Mean())
+		p.HighWait.AddRep(r.QueueWait[0].Mean())
+		low := e.Schemes[out.key.scheme].Discipline.Classes() - 1
+		p.LowWait.AddRep(r.QueueWait[low].Mean())
+		p.AvgUtil.AddRep(r.AvgUtilization)
+		p.MaxDimUtil.AddRep(r.MaxDimUtilization)
+		p.GeneratedBroadcasts += r.GeneratedBroadcasts
+		p.IncompleteBroadcasts += r.IncompleteBroadcasts
+		if !r.Stable(shapes) {
+			p.UnstableReps++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	res := &Result{Exp: e, Elapsed: time.Since(start)}
+	for si, spec := range e.Schemes {
+		series := Series{Scheme: spec, Points: make([]Point, len(e.Rhos))}
+		for ri := range e.Rhos {
+			if p := cells[cellKey{si, ri}]; p != nil {
+				series.Points[ri] = *p
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Metric selects which aggregate a table or CSV reports.
+type Metric int
+
+// Available metrics.
+const (
+	MetricReception Metric = iota
+	MetricBroadcast
+	MetricUnicast
+	MetricHighWait
+	MetricLowWait
+	MetricAvgUtil
+	MetricMaxDimUtil
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricReception:
+		return "avg reception delay"
+	case MetricBroadcast:
+		return "avg broadcast delay"
+	case MetricUnicast:
+		return "avg unicast delay"
+	case MetricHighWait:
+		return "high-priority queue wait"
+	case MetricLowWait:
+		return "low-priority queue wait"
+	case MetricAvgUtil:
+		return "avg link utilization"
+	case MetricMaxDimUtil:
+		return "max dimension utilization"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+func (p *Point) summary(m Metric) *stats.Summary {
+	switch m {
+	case MetricBroadcast:
+		return &p.Broadcast
+	case MetricUnicast:
+		return &p.Unicast
+	case MetricHighWait:
+		return &p.HighWait
+	case MetricLowWait:
+		return &p.LowWait
+	case MetricAvgUtil:
+		return &p.AvgUtil
+	case MetricMaxDimUtil:
+		return &p.MaxDimUtil
+	default:
+		return &p.Reception
+	}
+}
+
+// Value returns the across-replication mean of the metric at this point.
+func (p *Point) Value(m Metric) float64 { return p.summary(m).Mean() }
+
+// Table renders the metric as a fixed-width text table: one row per rho,
+// one column per scheme, unstable cells marked with '*'.
+func (r *Result) Table(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", r.Exp.Title, m, shapeName(r.Exp.Dims))
+	fmt.Fprintf(&b, "%8s", "rho")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %18s", s.Scheme.Name)
+	}
+	b.WriteByte('\n')
+	for ri, rho := range r.Exp.Rhos {
+		fmt.Fprintf(&b, "%8.3f", rho)
+		for _, s := range r.Series {
+			p := s.Points[ri]
+			mark := " "
+			if p.UnstableReps > 0 {
+				mark = "*"
+			}
+			v := p.Value(m)
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %17s%s", "-", mark)
+			} else {
+				fmt.Fprintf(&b, " %17.3f%s", v, mark)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if unstableAnywhere(r) {
+		b.WriteString("  (* = backlog grew over the window: at or beyond saturation)\n")
+	}
+	return b.String()
+}
+
+func unstableAnywhere(r *Result) bool {
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.UnstableReps > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Plot renders the metric as an ASCII line chart over the rho grid, the
+// textual analogue of the paper's figures. Saturated cells are clipped at
+// four times the largest stable value so the pre-saturation region stays
+// readable.
+func (r *Result) Plot(m Metric) string {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s — %s (%s)", r.Exp.Title, m, shapeName(r.Exp.Dims)),
+		XLabel: "throughput factor rho",
+		YLabel: m.String(),
+	}
+	maxStable := 0.0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.UnstableReps == 0 && p.Value(m) > maxStable {
+				maxStable = p.Value(m)
+			}
+		}
+	}
+	if maxStable > 0 {
+		c.YMax = 4 * maxStable
+	}
+	for _, s := range r.Series {
+		series := plot.Series{Name: s.Scheme.Name}
+		for ri, rho := range r.Exp.Rhos {
+			v := s.Points[ri].Value(m)
+			if math.IsNaN(v) {
+				continue
+			}
+			series.X = append(series.X, rho)
+			series.Y = append(series.Y, v)
+		}
+		if err := c.Add(series); err != nil {
+			return fmt.Sprintf("plot error: %v", err)
+		}
+	}
+	return c.Render()
+}
+
+// CSV renders the metric as comma-separated values with a header row.
+func (r *Result) CSV(m Metric) string {
+	var b strings.Builder
+	b.WriteString("rho")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, ",%s,%s_ci95,%s_unstable", s.Scheme.Name, s.Scheme.Name, s.Scheme.Name)
+	}
+	b.WriteByte('\n')
+	for ri, rho := range r.Exp.Rhos {
+		fmt.Fprintf(&b, "%g", rho)
+		for _, s := range r.Series {
+			p := s.Points[ri]
+			fmt.Fprintf(&b, ",%g,%g,%d", p.Value(m), p.summary(m).HalfWidth95(), p.UnstableReps)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func shapeName(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, n := range dims {
+		parts[i] = fmt.Sprint(n)
+	}
+	return strings.Join(parts, "x")
+}
+
+// SpeedupAt returns the ratio of scheme b's metric to scheme a's at the
+// given rho (how many times larger b's delay is), for headline comparisons.
+func (r *Result) SpeedupAt(m Metric, a, b string, rho float64) (float64, error) {
+	var sa, sb *Series
+	for i := range r.Series {
+		switch r.Series[i].Scheme.Name {
+		case a:
+			sa = &r.Series[i]
+		case b:
+			sb = &r.Series[i]
+		}
+	}
+	if sa == nil || sb == nil {
+		return 0, fmt.Errorf("sweep: schemes %q/%q not in result", a, b)
+	}
+	for ri, rr := range r.Exp.Rhos {
+		if math.Abs(rr-rho) < 1e-9 {
+			va := sa.Points[ri].Value(m)
+			if va == 0 {
+				return 0, fmt.Errorf("sweep: zero baseline at rho=%g", rho)
+			}
+			return sb.Points[ri].Value(m) / va, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: rho %g not on the grid", rho)
+}
+
+// StabilitySearch estimates the maximum stable throughput factor of a
+// scheme by bisection: it runs short probe simulations and tests
+// Result.Stable. The probe length trades accuracy for time; tol is the
+// final interval width.
+func StabilitySearch(dims []int, spec SchemeSpec, broadcastFrac float64, m balance.DistanceModel,
+	probeSlots int64, reps int, seed uint64, lo, hi, tol float64) (float64, error) {
+	shape, err := torus.New(dims...)
+	if err != nil {
+		return 0, err
+	}
+	stable := func(rho float64) (bool, error) {
+		rates, err := traffic.RatesForRho(shape, rho, broadcastFrac, 1, m)
+		if err != nil {
+			return false, err
+		}
+		sch, err := spec.Build(shape, rates, m)
+		if err != nil {
+			return false, err
+		}
+		for rep := 0; rep < reps; rep++ {
+			res, err := sim.Run(sim.Config{
+				Shape: shape, Scheme: sch, Rates: rates,
+				Seed:   seed ^ uint64(rep+1) ^ math.Float64bits(rho),
+				Warmup: probeSlots / 4, Measure: probeSlots, Drain: 0,
+				MaxBacklog: int64(shape.Links()) * probeSlots / 16,
+			})
+			if err != nil {
+				return false, err
+			}
+			if !res.Stable(shape) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	if ok, err := stable(lo); err != nil {
+		return 0, err
+	} else if !ok {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// SortSeriesByName orders the result's series alphabetically (stable
+// rendering for goldens).
+func (r *Result) SortSeriesByName() {
+	sort.Slice(r.Series, func(i, j int) bool {
+		return r.Series[i].Scheme.Name < r.Series[j].Scheme.Name
+	})
+}

@@ -1,0 +1,42 @@
+package torus
+
+import "testing"
+
+func BenchmarkNeighbor(b *testing.B) {
+	s := MustNew(8, 8, 8)
+	b.ReportAllocs()
+	var acc Node
+	for i := 0; i < b.N; i++ {
+		acc = s.Neighbor(Node(i%s.Size()), i%3, Plus)
+	}
+	_ = acc
+}
+
+func BenchmarkCoords(b *testing.B) {
+	s := MustNew(8, 8, 8)
+	buf := make([]int, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.Coords(Node(i%s.Size()), buf)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	s := MustNew(16, 16)
+	b.ReportAllocs()
+	var acc int
+	for i := 0; i < b.N; i++ {
+		acc += s.Distance(Node(i%s.Size()), Node((i*7)%s.Size()))
+	}
+	_ = acc
+}
+
+func BenchmarkLinkDecode(b *testing.B) {
+	s := MustNew(8, 8, 8)
+	b.ReportAllocs()
+	var acc Node
+	for i := 0; i < b.N; i++ {
+		acc = s.LinkDst(LinkID(i % s.LinkSlots()))
+	}
+	_ = acc
+}

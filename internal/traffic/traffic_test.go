@@ -1,0 +1,231 @@
+package traffic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/torus"
+)
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, mean := range []float64{0.1, 1, 5, 30, 400} {
+		const n = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			x := float64(Poisson(rng, mean))
+			sum += x
+			sumSq += x * x
+		}
+		gotMean := sum / n
+		gotVar := sumSq/n - gotMean*gotMean
+		tol := 5 * math.Sqrt(mean/n) * math.Max(1, math.Sqrt(2*mean)) // loose CLT bound
+		if math.Abs(gotMean-mean) > 5*math.Sqrt(mean/n)+0.01 {
+			t.Errorf("mean %g: sample mean %g", mean, gotMean)
+		}
+		if math.Abs(gotVar-mean) > tol+0.05*mean+0.05 {
+			t.Errorf("mean %g: sample variance %g (tol %g)", mean, gotVar, tol)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := 0; i < 100; i++ {
+		if Poisson(rng, 0) != 0 {
+			t.Fatal("Poisson(0) must be 0")
+		}
+	}
+}
+
+func TestPoissonNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative mean should panic")
+		}
+	}()
+	Poisson(rand.New(rand.NewPCG(1, 1)), -1)
+}
+
+func TestFixedLength(t *testing.T) {
+	d := FixedLength(3)
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i := 0; i < 10; i++ {
+		if d.Sample(rng) != 3 {
+			t.Fatal("fixed length should always be 3")
+		}
+	}
+	if d.Mean() != 3 || d.Kind() != KindFixed {
+		t.Error("fixed dist metadata wrong")
+	}
+}
+
+func TestUnitLengthAndZeroValue(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	if UnitLength().Sample(rng) != 1 || UnitLength().Mean() != 1 {
+		t.Error("UnitLength should be constant 1")
+	}
+	var zero LengthDist
+	if zero.Sample(rng) != 1 || zero.Mean() != 1 {
+		t.Error("zero-value LengthDist should behave as unit length")
+	}
+}
+
+func TestFixedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FixedLength(0) should panic")
+		}
+	}()
+	FixedLength(0)
+}
+
+func TestGeometricLength(t *testing.T) {
+	d := GeometricLength(4)
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		l := d.Sample(rng)
+		if l < 1 {
+			t.Fatal("geometric length below 1")
+		}
+		sum += float64(l)
+	}
+	got := sum / n
+	if math.Abs(got-4) > 0.1 {
+		t.Errorf("geometric sample mean = %g, want 4", got)
+	}
+	if d.Kind() != KindGeometric {
+		t.Error("kind wrong")
+	}
+}
+
+func TestGeometricMeanOne(t *testing.T) {
+	d := GeometricLength(1)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 100; i++ {
+		if d.Sample(rng) != 1 {
+			t.Fatal("geometric with mean 1 is constant 1")
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GeometricLength(0.5) should panic")
+		}
+	}()
+	GeometricLength(0.5)
+}
+
+func TestUniformDestNeverSelf(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	rng := rand.New(rand.NewPCG(6, 6))
+	counts := make([]int, s.Size())
+	src := torus.Node(5)
+	const n = 16000
+	for i := 0; i < n; i++ {
+		v := UniformDest(rng, s, src)
+		if v == src {
+			t.Fatal("UniformDest returned the source")
+		}
+		if !s.Valid(v) {
+			t.Fatal("UniformDest out of range")
+		}
+		counts[v]++
+	}
+	// Chi-square-ish sanity: every other node gets roughly n/(N-1).
+	want := float64(n) / float64(s.Size()-1)
+	for v, c := range counts {
+		if torus.Node(v) == src {
+			continue
+		}
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d: count %d, want ~%g", v, c, want)
+		}
+	}
+}
+
+func TestRhoRoundTrip(t *testing.T) {
+	s := torus.MustNew(4, 4, 8)
+	for _, frac := range []float64{0, 0.25, 0.5, 1} {
+		for _, rho := range []float64{0.1, 0.5, 0.9} {
+			r, err := RatesForRho(s, rho, frac, 1, balance.ExactDistance)
+			if err != nil {
+				t.Fatalf("frac %g rho %g: %v", frac, rho, err)
+			}
+			if got := r.Rho(s, 1, balance.ExactDistance); math.Abs(got-rho) > 1e-12 {
+				t.Errorf("frac %g: round-trip rho = %g, want %g", frac, got, rho)
+			}
+		}
+	}
+}
+
+func TestRhoSplitsLoad(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	r, err := RatesForRho(s, 0.8, 0.5, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each component contributes exactly half of rho.
+	b := Rates{LambdaB: r.LambdaB}
+	u := Rates{LambdaR: r.LambdaR}
+	if math.Abs(b.Rho(s, 1, balance.ExactDistance)-0.4) > 1e-12 {
+		t.Errorf("broadcast share = %g", b.Rho(s, 1, balance.ExactDistance))
+	}
+	if math.Abs(u.Rho(s, 1, balance.ExactDistance)-0.4) > 1e-12 {
+		t.Errorf("unicast share = %g", u.Rho(s, 1, balance.ExactDistance))
+	}
+}
+
+func TestRhoScalesWithLength(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	r, err := RatesForRho(s, 0.6, 1, 4, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Rho(s, 4, balance.ExactDistance); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("rho with length 4 = %g", got)
+	}
+	// Same rates with unit length carry 4x less load.
+	if got := r.Rho(s, 1, balance.ExactDistance); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("rho with length 1 = %g, want 0.15", got)
+	}
+}
+
+func TestRatesForRhoErrors(t *testing.T) {
+	s := torus.MustNew(8, 8)
+	if _, err := RatesForRho(s, -0.1, 1, 1, balance.ExactDistance); err == nil {
+		t.Error("negative rho should fail")
+	}
+	if _, err := RatesForRho(s, 0.5, 1.5, 1, balance.ExactDistance); err == nil {
+		t.Error("broadcastFrac > 1 should fail")
+	}
+	if _, err := RatesForRho(s, 0.5, 0.5, 0, balance.ExactDistance); err == nil {
+		t.Error("zero mean length should fail")
+	}
+	// 2x2 torus has floor(n/4) = 0 distances: unicast load cannot be
+	// expressed under the paper's floor model.
+	tiny := torus.MustNew(2, 2)
+	if _, err := RatesForRho(tiny, 0.5, 0, 1, balance.PaperFloorDistance); err == nil {
+		t.Error("zero paper-distance unicast workload should fail")
+	}
+}
+
+func TestPaperFloorRhoUsesFloorDistance(t *testing.T) {
+	// 8x8 torus: floor model D_ave = 4, exact = 2*64*16/(8*63) ~ 4.063.
+	s := torus.MustNew(8, 8)
+	r := Rates{LambdaR: 1}
+	floor := r.Rho(s, 1, balance.PaperFloorDistance)
+	exact := r.Rho(s, 1, balance.ExactDistance)
+	if math.Abs(floor-1) > 1e-12 { // 1 * 4 / 4
+		t.Errorf("floor rho = %g, want 1", floor)
+	}
+	if exact <= floor {
+		t.Errorf("exact rho %g should exceed floor rho %g on 8x8", exact, floor)
+	}
+}

@@ -1,0 +1,216 @@
+package prioritystar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPublicQuickstart exercises the documented quick-start flow end to end.
+func TestPublicQuickstart(t *testing.T) {
+	shape, err := NewTorus(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := RatesForRho(shape, 0.8, 1, 1, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := PrioritySTAR(shape, rates, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(SimConfig{
+		Shape: shape, Scheme: scheme, Rates: rates, Seed: 1,
+		Warmup: 1000, Measure: 4000, Drain: 1500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reception.Count() == 0 {
+		t.Fatal("no receptions recorded")
+	}
+	// Above the lower bound, below an order-of-magnitude multiple.
+	lb := ReceptionLowerBound(shape, 0.8)
+	if res.Reception.Mean() < lb {
+		t.Errorf("measured delay %g below the oblivious lower bound %g", res.Reception.Mean(), lb)
+	}
+	if res.Reception.Mean() > 10*lb {
+		t.Errorf("measured delay %g implausibly above the bound %g", res.Reception.Mean(), lb)
+	}
+}
+
+func TestPublicTopologyConstructors(t *testing.T) {
+	if _, err := NewTorus(); err == nil {
+		t.Error("empty torus should fail")
+	}
+	c, err := NAryDCube(4, 3)
+	if err != nil || c.Size() != 64 {
+		t.Errorf("NAryDCube: %v, %v", c, err)
+	}
+	h, err := Hypercube(5)
+	if err != nil || h.Size() != 32 || h.Degree() != 5 {
+		t.Errorf("Hypercube: %v, %v", h, err)
+	}
+}
+
+func TestPublicSchemeConstructors(t *testing.T) {
+	s, _ := NewTorus(4, 8)
+	rates, _ := RatesForRho(s, 0.5, 0.5, 1, ExactDistance)
+	if sch, err := PrioritySTAR3(s, rates, ExactDistance); err != nil || sch.Discipline != ThreeLevel {
+		t.Error("PrioritySTAR3 wrong")
+	}
+	if sch, err := STARFCFS(s, rates, ExactDistance); err != nil || sch.Discipline != FCFS {
+		t.Error("STARFCFS wrong")
+	}
+	if sch, err := DimOrderFCFS(s); err != nil || sch.Rotation != FixedEnding {
+		t.Error("DimOrderFCFS wrong")
+	}
+	if sch, err := NewScheme(s, TwoLevel, UniformRotation, rates, ExactDistance); err != nil || sch.Rotation != UniformRotation {
+		t.Error("NewScheme wrong")
+	}
+}
+
+func TestPublicBalance(t *testing.T) {
+	s, _ := NewTorus(4, 8)
+	v, err := BalanceBroadcastOnly(s)
+	if err != nil || !v.Feasible {
+		t.Fatalf("BalanceBroadcastOnly: %v %v", v, err)
+	}
+	if mt := MaxThroughput(s, v.X, 1, 0, ExactDistance); math.Abs(mt-1) > 1e-6 {
+		t.Errorf("balanced MaxThroughput = %g", mt)
+	}
+	h, err := BalanceHeterogeneous(s, 0.01, 0.05, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, x := range h.X {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("hetero vector sums to %g", sum)
+	}
+}
+
+func TestPublicBroadcastTree(t *testing.T) {
+	s, _ := NewTorus(5, 5)
+	rates, _ := RatesForRho(s, 0.5, 1, 1, ExactDistance)
+	sch, _ := PrioritySTAR(s, rates, ExactDistance)
+	tree := BroadcastTree(sch, 12, 1)
+	if len(tree) != 25 {
+		t.Fatalf("tree has %d nodes", len(tree))
+	}
+	for v, tn := range tree {
+		if Node(v) != 12 && tn.Depth == 0 {
+			t.Errorf("node %d unreachable", v)
+		}
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) == 0 {
+		t.Fatal("no figures registered")
+	}
+	exp, err := Figure("fig2+5", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink further: run only the low-rho point with one rep for speed.
+	exp.Rhos = []float64{0.3}
+	exp.Reps = 1
+	exp.Measure = 2000
+	exp.Warmup = 500
+	exp.Drain = 500
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table(MetricReception)
+	if !strings.Contains(table, "priority-STAR") {
+		t.Errorf("table missing scheme name:\n%s", table)
+	}
+	csv := res.CSV(MetricBroadcast)
+	if !strings.Contains(csv, "rho,") {
+		t.Error("csv missing header")
+	}
+}
+
+func TestPublicLengthDists(t *testing.T) {
+	if FixedLength(2).Mean() != 2 {
+		t.Error("FixedLength mean")
+	}
+	if GeometricLength(3).Mean() != 3 {
+		t.Error("GeometricLength mean")
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	s, _ := NewTorus(8, 8)
+	if MD1Wait(0.5) != 0.5 {
+		t.Error("MD1Wait(0.5) should be 0.5")
+	}
+	if BroadcastLowerBound(s, 0.5) <= ReceptionLowerBound(s, 0.5) {
+		t.Error("broadcast bound should exceed reception bound")
+	}
+}
+
+func TestPublicStaticTasks(t *testing.T) {
+	s, _ := NewTorus(4, 4)
+	sch, err := PrioritySTAR(s, Rates{LambdaB: 1}, ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStatic(s, sch, SingleBroadcast, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != int64(s.Diameter()) {
+		t.Errorf("single broadcast makespan %d, want %d", res.Makespan, s.Diameter())
+	}
+	if StaticLowerBound(s, MultinodeBroadcast) < 1 {
+		t.Error("MNB bound must be positive")
+	}
+}
+
+func TestPublicFiniteEngine(t *testing.T) {
+	ring, _ := NewTorus(4)
+	var preload []Flow
+	for i := 0; i < 4; i++ {
+		preload = append(preload, Flow{Src: Node(i), Dst: Node((i + 2) % 4)})
+	}
+	one, err := SimulateFinite(FiniteConfig{Shape: ring, VCs: 1, Capacity: 1, Preload: preload, Slots: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := SimulateFinite(FiniteConfig{Shape: ring, VCs: 2, Capacity: 1, Preload: preload, Slots: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.Deadlocked || two.Deadlocked {
+		t.Errorf("deadlock: 1 VC %v (want true), 2 VCs %v (want false)", one.Deadlocked, two.Deadlocked)
+	}
+}
+
+func TestPublicDelayCappedThroughput(t *testing.T) {
+	got, err := DelayCappedThroughput([]int{4, 4}, PrioritySTARSpec, 1, ExactDistance,
+		CapReception, 4, 1500, 2, 0.2, 1.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.2 || got > 1.0 {
+		t.Errorf("capped throughput %g out of range", got)
+	}
+}
+
+func TestPublicStabilitySearch(t *testing.T) {
+	got, err := StabilitySearch([]int{4, 4}, PrioritySTARSpec, 1, ExactDistance,
+		2000, 1, 3, 0.6, 1.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.8 {
+		t.Errorf("max stable rho = %g, want >= 0.8", got)
+	}
+}
