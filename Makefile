@@ -1,8 +1,30 @@
 GO ?= go
 
-.PHONY: all build vet test bench cover figures figures-quick report examples clean
+.PHONY: all help build vet test race bench bench-json cover figures figures-quick report examples clean
 
-all: build vet test
+all: build vet test race
+
+help:
+	@echo "Targets:"
+	@echo "  all           build + vet + test + race (the full gate)"
+	@echo "  build         go build ./..."
+	@echo "  vet           go vet ./..."
+	@echo "  test          go test ./..."
+	@echo "  race          race detector over the shared-state packages"
+	@echo "  bench         go test -bench over every figure benchmark"
+	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
+	@echo "                (make bench-json BENCH_BASELINE=old.json for speedups)"
+	@echo "  cover         go test -cover ./..."
+	@echo "  figures       regenerate every paper figure into results/"
+	@echo "  figures-quick smoke-sized figures"
+	@echo "  report        reproduction report"
+	@echo "  examples      run every example program"
+	@echo "  clean         remove generated outputs"
+
+# The race detector over the packages with shared state (parallel sweeps,
+# lazy per-shape link tables, pooled runners).
+race:
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep
 
 build:
 	$(GO) build ./...
@@ -16,6 +38,14 @@ test:
 # Per-figure benchmark harness (also reports the reproduced metrics).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable engine benchmarks -> BENCH_sim.json. To embed before/after
+# speedups, measure the old tree first and pass it as the baseline:
+#   make bench-json BENCH_BASELINE=old.json
+BENCH_BASELINE ?=
+bench-json:
+	$(GO) run ./cmd/bench -out BENCH_sim.json \
+		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
 cover:
 	$(GO) test -cover ./...

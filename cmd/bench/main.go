@@ -1,0 +1,201 @@
+// Command bench runs the figure-class simulator benchmarks outside `go
+// test` and writes a machine-readable BENCH_sim.json, so the performance
+// trajectory of the engine (ns/op, allocs/op, simulated slots per second)
+// can be tracked across changes.
+//
+//	bench -out BENCH_sim.json                     # measure current tree
+//	bench -baseline old.json -out BENCH_sim.json  # also embed before/after speedups
+//	bench -quick                                  # smoke-sized (CI)
+//
+// With -baseline, each benchmark that also appears in the baseline file
+// reports the baseline's slots/sec as "before" alongside the fresh
+// measurement, plus the resulting speedup factor.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"prioritystar"
+)
+
+// workload is one benchmark: a topology and operating point, simulated for
+// a fixed number of slots per iteration.
+type workload struct {
+	Name string
+	Dims []int
+	Rho  float64
+	Frac float64 // fraction of transmission load from broadcasts
+	Mean float64 // packet length mean (1 = unit lengths)
+
+	Warmup, Measure, Drain int64
+}
+
+func (w workload) slots() int64 { return w.Warmup + w.Measure + w.Drain }
+
+// workloads mirrors the figure benchmarks of bench_test.go, plus the
+// low-rho operating points (rho <= 0.5) where the event-driven engine's
+// advantage over a full link scan is largest — the regime the paper's
+// delay analysis targets.
+func workloads(quick bool) []workload {
+	scale := int64(1)
+	if quick {
+		scale = 4
+	}
+	mk := func(name string, dims []int, rho, frac float64, warm, meas, drain int64) workload {
+		return workload{Name: name, Dims: dims, Rho: rho, Frac: frac, Mean: 1,
+			Warmup: warm / scale, Measure: meas / scale, Drain: drain / scale}
+	}
+	return []workload{
+		mk("engine/8x8/rho0.2", []int{8, 8}, 0.2, 1, 0, 2000, 0),
+		mk("engine/8x8/rho0.9", []int{8, 8}, 0.9, 1, 0, 2000, 0),
+		mk("fig2/reception/8x8/rho0.3", []int{8, 8}, 0.3, 1, 600, 2500, 1200),
+		mk("fig2/reception/8x8/rho0.8", []int{8, 8}, 0.8, 1, 600, 2500, 1200),
+		mk("fig3/reception/16x16/rho0.1", []int{16, 16}, 0.1, 1, 600, 2500, 1200),
+		mk("fig3/reception/16x16/rho0.3", []int{16, 16}, 0.3, 1, 600, 2500, 1200),
+		mk("fig4/reception/8x8x8/rho0.2", []int{8, 8, 8}, 0.2, 1, 300, 1200, 600),
+		mk("fig4/reception/8x8x8/rho0.5", []int{8, 8, 8}, 0.5, 1, 300, 1200, 600),
+		mk("fig8/hetero/4x4x8/rho0.5", []int{4, 4, 8}, 0.5, 0.5, 600, 2500, 1200),
+		mk("hypercube8/rho0.5", []int{2, 2, 2, 2, 2, 2, 2, 2}, 0.5, 1, 300, 1200, 600),
+	}
+}
+
+// Measurement is one benchmark's recorded numbers.
+type Measurement struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	SlotsPerSec  float64 `json:"slots_per_sec"`
+	SlotsPerIter int64   `json:"slots_per_iter"`
+
+	// Before/after comparison, present only when -baseline matched.
+	BaselineSlotsPerSec float64 `json:"baseline_slots_per_sec,omitempty"`
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	Speedup             float64 `json:"speedup,omitempty"`
+}
+
+// File is the BENCH_sim.json document.
+type File struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Quick      bool          `json:"quick,omitempty"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+func run(w workload) (Measurement, error) {
+	shape, err := prioritystar.NewTorus(w.Dims...)
+	if err != nil {
+		return Measurement{}, err
+	}
+	rates, err := prioritystar.RatesForRho(shape, w.Rho, w.Frac, w.Mean, prioritystar.ExactDistance)
+	if err != nil {
+		return Measurement{}, err
+	}
+	scheme, err := prioritystar.PrioritySTAR(shape, rates, prioritystar.ExactDistance)
+	if err != nil {
+		return Measurement{}, err
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := prioritystar.Simulate(prioritystar.SimConfig{
+				Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
+				Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
+			}); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return Measurement{}, benchErr
+	}
+	return Measurement{
+		Name:         w.Name,
+		Iterations:   r.N,
+		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		SlotsPerSec:  float64(w.slots()) * float64(r.N) / r.T.Seconds(),
+		SlotsPerIter: w.slots(),
+	}, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path ('-' for stdout)")
+	baseline := flag.String("baseline", "", "previous BENCH_sim.json to embed as the 'before' numbers")
+	quick := flag.Bool("quick", false, "smoke-sized workloads (4x fewer slots)")
+	flag.Parse()
+
+	var before map[string]Measurement
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		before = make(map[string]Measurement, len(f.Benchmarks))
+		for _, m := range f.Benchmarks {
+			before[m.Name] = m
+		}
+	}
+
+	file := File{
+		Schema:    "prioritystar-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     *quick,
+	}
+	for _, w := range workloads(*quick) {
+		m, err := run(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		if b, ok := before[m.Name]; ok && b.SlotsPerSec > 0 {
+			m.BaselineSlotsPerSec = b.SlotsPerSec
+			m.BaselineNsPerOp = b.NsPerOp
+			m.BaselineAllocsPerOp = b.AllocsPerOp
+			m.Speedup = m.SlotsPerSec / b.SlotsPerSec
+		}
+		file.Benchmarks = append(file.Benchmarks, m)
+		if m.Speedup > 0 {
+			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op  (%.2fx vs baseline)\n",
+				m.Name, m.SlotsPerSec, m.AllocsPerOp, m.Speedup)
+		} else {
+			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op\n", m.Name, m.SlotsPerSec, m.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

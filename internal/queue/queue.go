@@ -8,7 +8,9 @@ package queue
 import "fmt"
 
 // FIFO is an unbounded first-in first-out queue backed by a growable
-// circular buffer. The zero value is ready to use.
+// circular buffer. The backing array always has a power-of-two capacity so
+// ring positions are computed with a bitmask instead of a division. The
+// zero value is ready to use.
 type FIFO[T any] struct {
 	buf  []T
 	head int
@@ -18,23 +20,42 @@ type FIFO[T any] struct {
 // Len returns the number of queued elements.
 func (q *FIFO[T]) Len() int { return q.n }
 
+// Cap returns the capacity of the backing array (0 or a power of two).
+func (q *FIFO[T]) Cap() int { return len(q.buf) }
+
 // Push appends v to the tail.
 func (q *FIFO[T]) Push(v T) {
 	if q.n == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
 	q.n++
 }
 
+// PushSlot appends an element slot to the tail and returns a pointer to
+// it for the caller to fill in place, saving a copy of T. The slot holds
+// stale contents (it is not zeroed); the caller must assign every field.
+// The pointer is valid only until the next Push, PushSlot, or Reset.
+func (q *FIFO[T]) PushSlot() *T {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	v := &q.buf[(q.head+q.n)&(len(q.buf)-1)]
+	q.n++
+	return v
+}
+
 func (q *FIFO[T]) grow() {
-	newCap := len(q.buf) * 2
+	newCap := len(q.buf) * 2 // doubling keeps the capacity a power of two
 	if newCap == 0 {
 		newCap = 8
 	}
 	buf := make([]T, newCap)
-	for i := 0; i < q.n; i++ {
-		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	if q.head+q.n <= len(q.buf) {
+		copy(buf, q.buf[q.head:q.head+q.n])
+	} else {
+		p := copy(buf, q.buf[q.head:])
+		copy(buf[p:], q.buf[:q.head+q.n-len(q.buf)])
 	}
 	q.buf = buf
 	q.head = 0
@@ -49,7 +70,23 @@ func (q *FIFO[T]) Pop() (T, bool) {
 	}
 	v := q.buf[q.head]
 	q.buf[q.head] = zero // release references for GC
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v, true
+}
+
+// PopRef removes the head element and returns a pointer to its slot in
+// the backing array, avoiding a copy. The slot is not cleared: the pointer
+// is valid only until the next Push, Reset, or PopRef-followed-by-Push on
+// this queue, and popped slots keep their old contents. It is intended for
+// hot paths moving plain value types; element types holding references
+// should use Pop, which zeroes the slot for the garbage collector.
+func (q *FIFO[T]) PopRef() (*T, bool) {
+	if q.n == 0 {
+		return nil, false
+	}
+	v := &q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return v, true
 }
@@ -61,6 +98,19 @@ func (q *FIFO[T]) Peek() (T, bool) {
 		return zero, false
 	}
 	return q.buf[q.head], true
+}
+
+// Reset drops all queued elements but keeps the backing array, so a queue
+// that is cleared and refilled repeatedly (e.g. across simulation runs)
+// reaches its steady-state capacity once and never reallocates. Dropped
+// elements are zeroed to release references for GC.
+func (q *FIFO[T]) Reset() {
+	var zero T
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&mask] = zero
+	}
+	q.head, q.n = 0, 0
 }
 
 // MultiClass is a set of FIFO queues indexed by priority class; Pop serves
@@ -94,6 +144,13 @@ func (m *MultiClass[T]) Push(c int, v T) {
 	m.total++
 }
 
+// PushSlot appends a slot to class c's tail and returns a pointer for the
+// caller to fill in place (see FIFO.PushSlot for the contract).
+func (m *MultiClass[T]) PushSlot(c int) *T {
+	m.total++
+	return m.classes[c].PushSlot()
+}
+
 // Pop dequeues the head of the highest-priority nonempty class, returning
 // the element and its class.
 func (m *MultiClass[T]) Pop() (T, int, bool) {
@@ -107,6 +164,19 @@ func (m *MultiClass[T]) Pop() (T, int, bool) {
 	return zero, -1, false
 }
 
+// PopRef is Pop without the copy: it dequeues the head of the
+// highest-priority nonempty class and returns a pointer into that class's
+// backing array. See FIFO.PopRef for the pointer's validity rules.
+func (m *MultiClass[T]) PopRef() (*T, int, bool) {
+	for c := range m.classes {
+		if v, ok := m.classes[c].PopRef(); ok {
+			m.total--
+			return v, c, true
+		}
+	}
+	return nil, -1, false
+}
+
 // Peek returns the element Pop would return, without removing it.
 func (m *MultiClass[T]) Peek() (T, int, bool) {
 	for c := range m.classes {
@@ -116,4 +186,13 @@ func (m *MultiClass[T]) Peek() (T, int, bool) {
 	}
 	var zero T
 	return zero, -1, false
+}
+
+// Reset empties every class while keeping each class's backing array for
+// reuse (see FIFO.Reset).
+func (m *MultiClass[T]) Reset() {
+	for c := range m.classes {
+		m.classes[c].Reset()
+	}
+	m.total = 0
 }

@@ -210,3 +210,161 @@ func TestMultiClassLenTracksTotal(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFIFOCapacityPowerOfTwo(t *testing.T) {
+	var q FIFO[int]
+	if q.Cap() != 0 {
+		t.Fatalf("zero FIFO Cap = %d", q.Cap())
+	}
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+		if c := q.Cap(); c&(c-1) != 0 || c == 0 {
+			t.Fatalf("after %d pushes: Cap = %d, not a power of two", i+1, c)
+		}
+	}
+}
+
+func TestFIFOResetKeepsCapacity(t *testing.T) {
+	var q FIFO[int]
+	// Move head off zero so Reset must handle a wrapped buffer.
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 37; i++ {
+		q.Pop()
+	}
+	c := q.Cap()
+	if c == 0 {
+		t.Fatal("expected a grown buffer")
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	if q.Cap() != c {
+		t.Fatalf("Cap after Reset = %d, want %d (backing array should be kept)", q.Cap(), c)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after Reset should fail")
+	}
+	// Refill within capacity: no growth, order intact.
+	for i := 0; i < c; i++ {
+		q.Push(i)
+	}
+	if q.Cap() != c {
+		t.Fatalf("refill within capacity grew the buffer: %d -> %d", c, q.Cap())
+	}
+	for i := 0; i < c; i++ {
+		if v, ok := q.Pop(); !ok || v != i {
+			t.Fatalf("Pop #%d after Reset = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestFIFOResetReleasesReferences(t *testing.T) {
+	var q FIFO[*int]
+	for i := 0; i < 16; i++ {
+		v := i
+		q.Push(&v)
+	}
+	q.Reset()
+	for i := 0; i < q.Cap(); i++ {
+		if q.buf[i] != nil {
+			t.Fatalf("buf[%d] still holds a reference after Reset", i)
+		}
+	}
+}
+
+func TestMultiClassResetKeepsClassCapacity(t *testing.T) {
+	m := NewMultiClass[int](3)
+	for i := 0; i < 200; i++ {
+		m.Push(i%3, i)
+	}
+	caps := make([]int, 3)
+	for c := range caps {
+		caps[c] = m.classes[c].Cap()
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	for c := 0; c < 3; c++ {
+		if m.LenClass(c) != 0 {
+			t.Fatalf("class %d not empty after Reset", c)
+		}
+		if m.classes[c].Cap() != caps[c] {
+			t.Fatalf("class %d capacity changed across Reset: %d -> %d", c, caps[c], m.classes[c].Cap())
+		}
+	}
+	if _, _, ok := m.Pop(); ok {
+		t.Fatal("Pop after Reset should fail")
+	}
+	m.Push(1, 42)
+	if v, c, ok := m.Pop(); !ok || v != 42 || c != 1 {
+		t.Fatalf("Push/Pop after Reset = %d class %d, %v", v, c, ok)
+	}
+}
+
+// TestFIFORefVariantsMatchValueAPI drives a FIFO through a mixed
+// PushSlot/PopRef workload mirrored against a value-API FIFO and a plain
+// slice model: the in-place variants must observe the exact same sequence.
+func TestFIFORefVariantsMatchValueAPI(t *testing.T) {
+	var ref, val FIFO[int]
+	var model []int
+	next := 0
+	for step := 0; step < 400; step++ {
+		if step%7 < 4 { // push-biased so the ring grows and wraps
+			*ref.PushSlot() = next
+			val.Push(next)
+			model = append(model, next)
+			next++
+			continue
+		}
+		rv, rok := ref.PopRef()
+		vv, vok := val.Pop()
+		if rok != vok {
+			t.Fatalf("step %d: PopRef ok=%v, Pop ok=%v", step, rok, vok)
+		}
+		if !rok {
+			if len(model) != 0 {
+				t.Fatalf("step %d: queues empty but model has %d", step, len(model))
+			}
+			continue
+		}
+		if *rv != vv || vv != model[0] {
+			t.Fatalf("step %d: PopRef=%d Pop=%d model=%d", step, *rv, vv, model[0])
+		}
+		model = model[1:]
+	}
+	if ref.Len() != val.Len() || ref.Len() != len(model) {
+		t.Fatalf("final lengths diverged: ref=%d val=%d model=%d", ref.Len(), val.Len(), len(model))
+	}
+}
+
+// TestMultiClassPushSlotPopRef checks priority order and class bookkeeping
+// through the in-place API, including a PopRef on a fully empty queue.
+func TestMultiClassPushSlotPopRef(t *testing.T) {
+	m := NewMultiClass[string](3)
+	if v, c, ok := m.PopRef(); ok || v != nil || c != -1 {
+		t.Fatalf("PopRef on empty = %v, %d, %v", v, c, ok)
+	}
+	*m.PushSlot(2) = "low"
+	*m.PushSlot(0) = "high"
+	*m.PushSlot(1) = "mid"
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	want := []struct {
+		v string
+		c int
+	}{{"high", 0}, {"mid", 1}, {"low", 2}}
+	for i, w := range want {
+		v, c, ok := m.PopRef()
+		if !ok || *v != w.v || c != w.c {
+			t.Fatalf("PopRef %d = %q class %d ok=%v, want %q class %d", i, *v, c, ok, w.v, w.c)
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after draining = %d", m.Len())
+	}
+}

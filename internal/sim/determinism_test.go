@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/core"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// detCase builds a Config exercising one topology/load/discipline mix.
+func detCase(t *testing.T, dims []int, rho, frac float64, disc core.Discipline, mean float64, seed uint64) Config {
+	t.Helper()
+	s := torus.MustNew(dims...)
+	rates, err := traffic.RatesForRho(s, rho, frac, mean, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.NewScheme(s, disc, core.BalancedRotation, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var length traffic.LengthDist
+	if mean > 1 {
+		length = traffic.GeometricLength(mean)
+	}
+	return Config{
+		Shape: s, Scheme: sch, Rates: rates, Length: length, Seed: seed,
+		Warmup: 150, Measure: 800, Drain: 400,
+	}
+}
+
+// TestRunDeterministic asserts that two Run calls with an identical Config
+// produce identical Result fields, for a spread of shapes, loads, and
+// disciplines. This is the contract the event-driven engine must keep: a
+// link wake-up schedule plus ascending-LinkID service must replay the exact
+// same trajectory for a fixed seed.
+func TestRunDeterministic(t *testing.T) {
+	cases := []Config{
+		detCase(t, []int{8, 8}, 0.2, 1, core.TwoLevel, 1, 7),
+		detCase(t, []int{8, 8}, 0.9, 0.5, core.TwoLevel, 1, 8),
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 9),
+		detCase(t, []int{4, 4, 8}, 0.6, 0.5, core.ThreeLevel, 1, 10),
+		detCase(t, []int{2, 2, 2, 2, 2}, 0.7, 1, core.TwoLevel, 4, 11),
+	}
+	for i, cfg := range cases {
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("case %d: identical configs produced different results:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+// TestRunnerReuseMatchesFreshRun asserts that a Runner reused across runs
+// of different shapes and class counts produces results identical to fresh
+// engines: buffer recycling must never leak state between runs.
+func TestRunnerReuseMatchesFreshRun(t *testing.T) {
+	cases := []Config{
+		detCase(t, []int{8, 8}, 0.8, 1, core.TwoLevel, 1, 21),
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 22),
+		// Same shape twice in a row: exercises the buffer-reuse path.
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 23),
+		detCase(t, []int{4, 4, 8}, 0.6, 0.5, core.ThreeLevel, 4, 24),
+		// Back to a smaller shape after a larger one.
+		detCase(t, []int{2, 2, 2}, 0.4, 0.5, core.TwoLevel, 1, 25),
+	}
+	var runner Runner
+	for i, cfg := range cases {
+		var fresh Runner
+		want, err := fresh.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: reused runner diverged from fresh engine:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestTruncatedRunThenReuse checks that a run aborted by MaxBacklog leaves
+// no residue in a reused Runner: pending wheel arrivals, ready marks, and
+// task state from the truncated run must not affect the next run.
+func TestTruncatedRunThenReuse(t *testing.T) {
+	over := detCase(t, []int{4, 4}, 1.6, 1, core.FCFS, 1, 31) // far beyond saturation
+	over.MaxBacklog = 200
+	normal := detCase(t, []int{4, 4}, 0.5, 1, core.FCFS, 1, 32)
+
+	var runner Runner
+	tr, err := runner.Run(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated {
+		t.Fatal("overload run was not truncated; raise the load")
+	}
+	got, err := runner.Run(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("run after truncated run diverged:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -16,11 +16,21 @@
 // Statistics are collected for tasks born inside the measurement window
 // [Warmup, Warmup+Measure); the simulation then runs Drain additional slots
 // so most measured tasks can complete, and reports how many did not.
+//
+// The engine is event-driven: a link is examined only when its in-flight
+// transmission completes or when a packet is enqueued on it while it is
+// idle, so per-slot cost is proportional to actual link activity rather
+// than to the total number of links (see DESIGN.md, "Engine internals &
+// performance"). Ready links are served in ascending LinkID order each
+// slot, which makes runs bit-identical to the historical full-scan engine
+// for a fixed seed.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
+	"sync"
 
 	"prioritystar/internal/core"
 	"prioritystar/internal/queue"
@@ -32,7 +42,11 @@ import (
 // wheelSize is the timing-wheel span; packet service times are clamped to
 // wheelSize-1 slots (Result.ClampedLengths counts occurrences, which are
 // astronomically rare for the geometric lengths used by the experiments).
-const wheelSize = 4096
+// It is a power of two so wheel positions use a mask, not a division.
+const (
+	wheelSize = 4096
+	wheelMask = wheelSize - 1
+)
 
 // Config describes one simulation run.
 type Config struct {
@@ -168,6 +182,7 @@ type packet struct {
 	birth    int64
 	enq      int64 // enqueue time at the current output queue
 	task     int64 // broadcast task key (measured tasks only; -1 otherwise)
+	taskIdx  int32 // dense index into engine.tasks (measured broadcasts)
 	dest     torus.Node
 	tieMask  uint32
 	length   int32
@@ -180,11 +195,11 @@ type packet struct {
 	measured bool
 }
 
-type arrival struct {
-	link torus.LinkID
-	pkt  packet
-}
-
+// bcastState tracks one in-flight measured broadcast task. States live in a
+// dense slice indexed by packet.taskIdx; completed slots are recycled
+// through a free list, so steady-state measurement allocates no per-task
+// memory. The task *key* (packet.task, surfaced via DeliverEvent.Task)
+// stays a plain monotone counter and is never recycled.
 type bcastState struct {
 	birth     int64
 	remaining int32
@@ -202,15 +217,35 @@ type engine struct {
 	horizon int64
 
 	queues    []queue.MultiClass[packet]
-	busyUntil []int64
+	classes   int     // priority classes per queue (for reuse checks)
+	busyUntil []int64 // slot at which each link's transmission completes
 	busySlots []int64 // busy slots within the window, per link
-	linkDst   []torus.Node
-	wheel     [][]arrival
-	tasks     map[int64]*bcastState
+	linkDst   []torus.Node // shared per-shape table (torus.LinkTables)
+	linkDim   []int32      // shared per-shape table (torus.LinkTables)
+
+	// inflight[l] is the packet currently transmitting on link l; the
+	// timing wheel stores only link IDs, so a completion event is 4 bytes
+	// instead of a full packet copy. A link carries at most one packet at
+	// a time, making one slot per link sufficient.
+	inflight []packet
+	wheel    [][]torus.LinkID
+
+	// ready collects the links that may start a transmission this slot:
+	// those whose in-flight packet just completed and those that received
+	// a packet while idle.
+	ready linkBitmap
+
+	// Dense broadcast-task table indexed by packet.taskIdx; freeTasks
+	// holds recycled indices, liveTasks counts tasks currently in flight,
+	// and nextTask is the never-recycled key counter.
+	tasks     []bcastState
+	freeTasks []int32
+	liveTasks int64
 	nextTask  int64
-	backlog   int64
-	hopBuf    []core.Hop
-	maxBack   int64
+
+	backlog int64
+	hopBuf  []core.Hop
+	maxBack int64
 
 	// Backlog sampling for the trend estimate: sums over the first and
 	// last quarters of the measurement window.
@@ -218,48 +253,130 @@ type engine struct {
 	firstQCount, lastQCount int64
 }
 
-// Run executes one simulation and returns its statistics.
-func Run(cfg Config) (*Result, error) {
+// Runner executes simulations while reusing the engine's internal buffers
+// (queues, timing wheel, task table) across calls. A sweep that runs many
+// simulations of the same shape on one goroutine should reuse a Runner:
+// after the first run the hot path is allocation-free. The zero value is
+// ready to use. A Runner is not safe for concurrent use; give each worker
+// goroutine its own.
+type Runner struct {
+	e engine
+}
+
+// Run executes one simulation and returns its statistics. It is equivalent
+// to the package-level Run but recycles internal buffers from previous
+// calls; results are identical for identical Configs.
+func (r *Runner) Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	e := &engine{
-		cfg:     cfg,
-		s:       cfg.Shape,
-		sch:     cfg.Scheme,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x57a12357)),
-		res:     &Result{},
-		wStart:  cfg.Warmup,
-		wEnd:    cfg.Warmup + cfg.Measure,
-		horizon: cfg.totalSlots(),
-		tasks:   make(map[int64]*bcastState),
-		maxBack: cfg.MaxBacklog,
-	}
+	e := &r.e
+	e.reset(cfg)
+	e.run()
+	e.finish()
+	return e.res, nil
+}
+
+// runnerPool recycles engine buffers across package-level Run calls, so
+// even callers that cannot hold a Runner (parallel sweep workers, one-shot
+// probes) skip the per-run queue/wheel allocations after warm-up.
+var runnerPool = sync.Pool{New: func() any { return new(Runner) }}
+
+// Run executes one simulation and returns its statistics. Results depend
+// only on Config (same seed, same trajectory); internal buffers are
+// recycled through a pool.
+func Run(cfg Config) (*Result, error) {
+	r := runnerPool.Get().(*Runner)
+	res, err := r.Run(cfg)
+	r.e.release()
+	runnerPool.Put(r)
+	return res, err
+}
+
+// release drops references the engine no longer needs so a pooled Runner
+// does not pin the caller's shape, scheme, callbacks, or results. Bulk
+// value buffers (queues, wheel, tables) are kept for reuse.
+func (e *engine) release() {
+	e.cfg = Config{}
+	e.s = nil
+	e.sch = nil
+	e.rng = nil
+	e.res = nil
+	e.linkDst = nil
+	e.linkDim = nil
+}
+
+// reset prepares the engine for cfg, reusing buffers from any previous run
+// when the link-slot count and class count match.
+func (e *engine) reset(cfg Config) {
+	slots := cfg.Shape.LinkSlots()
+	classes := cfg.Scheme.Discipline.Classes()
+
+	e.cfg = cfg
+	e.s = cfg.Shape
+	e.sch = cfg.Scheme
+	e.rng = rand.New(rand.NewPCG(cfg.Seed, 0x57a12357))
+	e.res = &Result{} // escapes to the caller; never reused
+	e.now = 0
+	e.wStart = cfg.Warmup
+	e.wEnd = cfg.Warmup + cfg.Measure
+	e.horizon = cfg.totalSlots()
+	e.backlog = 0
+	e.liveTasks = 0
+	e.firstQSum, e.lastQSum = 0, 0
+	e.firstQCount, e.lastQCount = 0, 0
+	e.maxBack = cfg.MaxBacklog
 	if e.maxBack == 0 {
 		e.maxBack = 4_000_000
 	}
-	slots := e.s.LinkSlots()
-	e.queues = make([]queue.MultiClass[packet], 0, slots)
-	for i := 0; i < slots; i++ {
-		e.queues = append(e.queues, *queue.NewMultiClass[packet](e.sch.Discipline.Classes()))
+
+	if len(e.queues) == slots && e.classes == classes {
+		for l := range e.queues {
+			e.queues[l].Reset()
+		}
+	} else {
+		e.queues = make([]queue.MultiClass[packet], 0, slots)
+		for i := 0; i < slots; i++ {
+			e.queues = append(e.queues, *queue.NewMultiClass[packet](classes))
+		}
+		e.classes = classes
 	}
-	e.busyUntil = make([]int64, slots)
-	e.busySlots = make([]int64, slots)
-	e.linkDst = make([]torus.Node, slots)
-	for l := 0; l < slots; l++ {
-		if e.s.ValidLink(torus.LinkID(l)) {
-			e.linkDst[l] = e.s.LinkDst(torus.LinkID(l))
+	if len(e.busyUntil) == slots {
+		clear(e.busyUntil)
+		clear(e.busySlots)
+	} else {
+		e.busyUntil = make([]int64, slots)
+		e.busySlots = make([]int64, slots)
+	}
+	e.ready.init(slots)
+	e.linkDst, e.linkDim = e.s.LinkTables()
+	if len(e.inflight) != slots {
+		// No clearing on reuse: an inflight slot is read only when the
+		// wheel holds the link's ID, and the wheel is truncated below.
+		e.inflight = make([]packet, slots)
+	}
+	if e.wheel == nil {
+		e.wheel = make([][]torus.LinkID, wheelSize)
+	} else {
+		for i := range e.wheel {
+			e.wheel[i] = e.wheel[i][:0]
 		}
 	}
-	e.wheel = make([][]arrival, wheelSize)
+	e.tasks = e.tasks[:0]
+	e.freeTasks = e.freeTasks[:0]
+	e.nextTask = 0
+}
 
+// run is the slot loop. Each slot: deliver completed transmissions,
+// inject new tasks, then start transmissions on the links marked ready.
+func (e *engine) run() {
 	for e.now = 0; e.now < e.horizon; e.now++ {
 		if e.now == e.wStart {
 			e.res.BacklogStart = e.backlog
 		}
 		e.deliverArrivals()
 		e.generate()
-		e.service()
+		e.serviceReady()
 		if e.now == e.wEnd-1 {
 			e.res.BacklogEnd = e.backlog
 		}
@@ -282,30 +399,93 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 	}
-	e.finish()
-	return e.res, nil
+}
+
+// linkBitmap is a two-level bitmap over the link-slot index space: one bit
+// per link in l0, one bit per nonzero l0 word in l1. It gives O(1)
+// deduplicated marking and an ascending-order sweep whose cost is
+// proportional to the number of marked words, which is what makes the
+// event-driven service pass both cheap and deterministic (links are always
+// visited in ascending LinkID order, matching the historical full scan).
+type linkBitmap struct {
+	l0 []uint64
+	l1 []uint64
+}
+
+// init sizes the bitmap for the given number of link slots, reusing the
+// previous words when the size matches (they are always left cleared by
+// sweep, but clear defensively so a truncated run cannot leak marks).
+func (b *linkBitmap) init(slots int) {
+	w0 := (slots + 63) / 64
+	w1 := (w0 + 63) / 64
+	if len(b.l0) == w0 {
+		clear(b.l0)
+		clear(b.l1)
+		return
+	}
+	b.l0 = make([]uint64, w0)
+	b.l1 = make([]uint64, w1)
+}
+
+func (b *linkBitmap) set(l torus.LinkID) {
+	w := uint(l) >> 6
+	b.l0[w] |= 1 << (uint(l) & 63)
+	b.l1[w>>6] |= 1 << (w & 63)
+}
+
+// sweep calls fn for every marked link in ascending order, clearing the
+// bitmap as it goes. fn must not mark new links.
+func (b *linkBitmap) sweep(fn func(l torus.LinkID)) {
+	for w1, m1 := range b.l1 {
+		if m1 == 0 {
+			continue
+		}
+		b.l1[w1] = 0
+		for m1 != 0 {
+			w0 := w1<<6 + bits.TrailingZeros64(m1)
+			m1 &= m1 - 1
+			m0 := b.l0[w0]
+			b.l0[w0] = 0
+			for m0 != 0 {
+				fn(torus.LinkID(w0<<6 + bits.TrailingZeros64(m0)))
+				m0 &= m0 - 1
+			}
+		}
+	}
+}
+
+// markReady queues link l for examination by serviceReady this slot. Links
+// are marked when their transmission completes and when they receive a
+// packet while idle; together with the invariant that an idle link's queue
+// is drained-or-busy after every serviceReady pass, this covers exactly the
+// links the historical full scan would have served.
+func (e *engine) markReady(l torus.LinkID) {
+	e.ready.set(l)
 }
 
 // deliverArrivals processes packets whose transmission completes at the
 // start of the current slot.
 func (e *engine) deliverArrivals() {
-	slot := e.now % wheelSize
-	arrivals := e.wheel[slot]
+	arrivals := e.wheel[e.now&wheelMask]
+	if len(arrivals) == 0 {
+		return
+	}
 	// Service can never append back into the current slot (lengths are in
 	// [1, wheelSize)), so the backing array is safe to reuse immediately.
-	e.wheel[slot] = arrivals[:0]
-	for i := range arrivals {
-		a := &arrivals[i]
-		node := e.linkDst[a.link]
-		if a.pkt.kind == kindUnicast {
-			e.deliverUnicast(node, a.pkt)
+	e.wheel[e.now&wheelMask] = arrivals[:0]
+	for _, l := range arrivals {
+		e.markReady(l) // the link just went idle; it may have queue
+		pkt := &e.inflight[l]
+		node := e.linkDst[l]
+		if pkt.kind == kindUnicast {
+			e.deliverUnicast(node, pkt)
 		} else {
-			e.deliverBroadcast(node, a.pkt)
+			e.deliverBroadcast(node, pkt)
 		}
 	}
 }
 
-func (e *engine) deliverUnicast(node torus.Node, pkt packet) {
+func (e *engine) deliverUnicast(node torus.Node, pkt *packet) {
 	if e.cfg.OnDeliver != nil {
 		e.cfg.OnDeliver(DeliverEvent{
 			Slot: e.now, Node: node, Birth: pkt.birth, Task: -1,
@@ -323,7 +503,7 @@ func (e *engine) deliverUnicast(node torus.Node, pkt packet) {
 	e.enqueue(node, dim, dir, pkt)
 }
 
-func (e *engine) deliverBroadcast(node torus.Node, pkt packet) {
+func (e *engine) deliverBroadcast(node torus.Node, pkt *packet) {
 	if e.cfg.OnDeliver != nil {
 		e.cfg.OnDeliver(DeliverEvent{
 			Slot: e.now, Node: node, Birth: pkt.birth, Task: pkt.task,
@@ -332,12 +512,12 @@ func (e *engine) deliverBroadcast(node torus.Node, pkt packet) {
 	}
 	if pkt.measured {
 		e.res.Reception.Add(float64(e.now - pkt.birth))
-		if st, ok := e.tasks[pkt.task]; ok {
-			st.remaining--
-			if st.remaining == 0 {
-				e.res.Broadcast.Add(float64(e.now - st.birth))
-				delete(e.tasks, pkt.task)
-			}
+		st := &e.tasks[pkt.taskIdx]
+		st.remaining--
+		if st.remaining == 0 {
+			e.res.Broadcast.Add(float64(e.now - st.birth))
+			e.freeTasks = append(e.freeTasks, pkt.taskIdx)
+			e.liveTasks--
 		}
 	}
 	e.hopBuf = core.BroadcastForward(e.s, int(pkt.ending), int(pkt.phase), pkt.dir, int(pkt.hopsLeft), e.rng, e.hopBuf[:0])
@@ -345,22 +525,26 @@ func (e *engine) deliverBroadcast(node torus.Node, pkt packet) {
 }
 
 // forwardHops enqueues the hops currently in hopBuf on behalf of pkt.
-func (e *engine) forwardHops(node torus.Node, pkt packet) {
+func (e *engine) forwardHops(node torus.Node, pkt *packet) {
 	for _, h := range e.hopBuf {
-		next := pkt
+		next := *pkt
 		next.phase = int8(h.Phase)
 		next.dir = h.Dir
 		next.hopsLeft = int16(h.HopsLeft)
 		next.class = uint8(e.sch.BroadcastClass(h.Dim, int(pkt.ending)))
-		e.enqueue(node, h.Dim, h.Dir, next)
+		e.enqueue(node, h.Dim, h.Dir, &next)
 	}
 }
 
-func (e *engine) enqueue(node torus.Node, dim int, dir torus.Dir, pkt packet) {
-	pkt.enq = e.now
+func (e *engine) enqueue(node torus.Node, dim int, dir torus.Dir, pkt *packet) {
 	l := e.s.Link(node, dim, dir)
-	e.queues[l].Push(int(pkt.class), pkt)
+	slot := e.queues[l].PushSlot(int(pkt.class))
+	*slot = *pkt
+	slot.enq = e.now
 	e.backlog++
+	if e.busyUntil[l] <= e.now {
+		e.markReady(l) // idle link gained work; examine it this slot
+	}
 }
 
 // generate injects this slot's new tasks. Per-node independent Poisson
@@ -404,6 +588,21 @@ func (e *engine) generateImpulse(measured bool) {
 	}
 }
 
+// newTask allocates a dense state slot for a measured broadcast task,
+// recycling slots of completed tasks.
+func (e *engine) newTask() int32 {
+	st := bcastState{birth: e.now, remaining: int32(e.s.Size() - 1)}
+	e.liveTasks++
+	if n := len(e.freeTasks); n > 0 {
+		k := e.freeTasks[n-1]
+		e.freeTasks = e.freeTasks[:n-1]
+		e.tasks[k] = st
+		return k
+	}
+	e.tasks = append(e.tasks, st)
+	return int32(len(e.tasks) - 1)
+}
+
 func (e *engine) spawnBroadcast(src torus.Node, measured bool) {
 	ending := e.sch.SampleEnding(e.rng)
 	pkt := packet{
@@ -417,11 +616,11 @@ func (e *engine) spawnBroadcast(src torus.Node, measured bool) {
 	if measured {
 		pkt.task = e.nextTask
 		e.nextTask++
-		e.tasks[pkt.task] = &bcastState{birth: e.now, remaining: int32(e.s.Size() - 1)}
+		pkt.taskIdx = e.newTask()
 		e.res.GeneratedBroadcasts++
 	}
 	e.hopBuf = core.BroadcastForward(e.s, ending, -1, torus.Plus, 0, e.rng, e.hopBuf[:0])
-	e.forwardHops(src, pkt)
+	e.forwardHops(src, &pkt)
 }
 
 func (e *engine) spawnUnicast(src, dest torus.Node, measured bool) {
@@ -440,7 +639,7 @@ func (e *engine) spawnUnicast(src, dest torus.Node, measured bool) {
 		e.res.IncompleteUnicasts++ // decremented on delivery
 	}
 	dim, dir, _ := core.UnicastNextHop(e.s, src, dest, pkt.tieMask)
-	e.enqueue(src, dim, dir, pkt)
+	e.enqueue(src, dim, dir, &pkt)
 }
 
 func (e *engine) sampleLength() int {
@@ -452,18 +651,18 @@ func (e *engine) sampleLength() int {
 	return l
 }
 
-// service starts a new transmission on every idle link with queued packets.
-func (e *engine) service() {
+// serviceReady starts a new transmission on every ready link with queued
+// packets. The bitmap sweep visits links in ascending LinkID order, which
+// reproduces the exact service order of the historical full scan and keeps
+// same-seed runs bit-identical.
+func (e *engine) serviceReady() {
 	t := e.now
-	for l := range e.queues {
-		if e.busyUntil[l] > t {
-			continue
-		}
+	e.ready.sweep(func(l torus.LinkID) {
 		q := &e.queues[l]
 		if q.Len() == 0 {
-			continue
+			return // completion with an empty queue: link simply goes idle
 		}
-		pkt, class, _ := q.Pop()
+		pkt, class, _ := q.PopRef()
 		e.backlog--
 		if t >= e.wStart && t < e.wEnd {
 			e.res.QueueWait[class].Add(float64(t - pkt.enq))
@@ -471,9 +670,14 @@ func (e *engine) service() {
 		length := int64(pkt.length)
 		e.busyUntil[l] = t + length
 		e.busySlots[l] += overlap(t, t+length, e.wStart, e.wEnd)
-		at := (t + length) % wheelSize
-		e.wheel[at] = append(e.wheel[at], arrival{link: torus.LinkID(l), pkt: pkt})
-	}
+		// The packet rides in the link's inflight slot until completion;
+		// the wheel carries only the link ID. pkt points into the queue's
+		// ring buffer and stays valid: nothing can Push to this queue
+		// before the copy below.
+		e.inflight[l] = *pkt
+		at := (t + length) & wheelMask
+		e.wheel[at] = append(e.wheel[at], l)
+	})
 }
 
 // overlap returns the length of [a,b) ∩ [lo,hi).
@@ -492,7 +696,7 @@ func overlap(a, b, lo, hi int64) int64 {
 
 // finish converts raw counters into Result aggregates.
 func (e *engine) finish() {
-	e.res.IncompleteBroadcasts = int64(len(e.tasks))
+	e.res.IncompleteBroadcasts = e.liveTasks
 	d := e.s.Dims()
 	busy := make([]int64, d)
 	links := make([]int64, d)
@@ -501,7 +705,7 @@ func (e *engine) finish() {
 		if !e.s.ValidLink(torus.LinkID(l)) {
 			continue
 		}
-		dim := e.s.LinkDim(torus.LinkID(l))
+		dim := e.linkDim[l]
 		busy[dim] += e.busySlots[l]
 		links[dim]++
 		totalBusy += e.busySlots[l]

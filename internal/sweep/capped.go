@@ -38,6 +38,7 @@ func DelayCappedThroughput(dims []int, spec SchemeSpec, broadcastFrac float64,
 	if err != nil {
 		return 0, err
 	}
+	var runner sim.Runner // probes share buffers across bisection steps
 	within := func(rho float64) (bool, error) {
 		rates, err := traffic.RatesForRho(shape, rho, broadcastFrac, 1, m)
 		if err != nil {
@@ -47,7 +48,7 @@ func DelayCappedThroughput(dims []int, spec SchemeSpec, broadcastFrac float64,
 		if err != nil {
 			return false, err
 		}
-		res, err := sim.Run(sim.Config{
+		res, err := runner.Run(sim.Config{
 			Shape: shape, Scheme: sch, Rates: rates,
 			Seed:   seed ^ math.Float64bits(rho),
 			Warmup: probeSlots / 4, Measure: probeSlots, Drain: probeSlots / 2,

@@ -206,8 +206,11 @@ func (e *Experiment) Run() (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a Runner so queue/wheel buffers are
+			// allocated once and reused across its replications.
+			var runner sim.Runner
 			for j := range jobCh {
-				res, err := sim.Run(j.cfg)
+				res, err := runner.Run(j.cfg)
 				outCh <- outcome{key: j.key, res: res, err: err}
 			}
 		}()
@@ -472,6 +475,7 @@ func StabilitySearch(dims []int, spec SchemeSpec, broadcastFrac float64, m balan
 	if err != nil {
 		return 0, err
 	}
+	var runner sim.Runner // probes share buffers across bisection steps
 	stable := func(rho float64) (bool, error) {
 		rates, err := traffic.RatesForRho(shape, rho, broadcastFrac, 1, m)
 		if err != nil {
@@ -482,7 +486,7 @@ func StabilitySearch(dims []int, spec SchemeSpec, broadcastFrac float64, m balan
 			return false, err
 		}
 		for rep := 0; rep < reps; rep++ {
-			res, err := sim.Run(sim.Config{
+			res, err := runner.Run(sim.Config{
 				Shape: shape, Scheme: sch, Rates: rates,
 				Seed:   seed ^ uint64(rep+1) ^ math.Float64bits(rho),
 				Warmup: probeSlots / 4, Measure: probeSlots, Drain: 0,

@@ -15,6 +15,7 @@ package torus
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Node identifies a torus node by its dense mixed-radix index.
@@ -54,6 +55,13 @@ type Shape struct {
 	size    int   // total number of nodes N
 	degree  int   // outgoing directed links per node
 	links   int   // total directed links in the network (L)
+
+	// Lazily built per-LinkID lookup tables (see LinkTables). Built at
+	// most once per shape; sync.Once keeps the shape safe for concurrent
+	// use. Analysis-only code that never touches links pays nothing.
+	linkOnce   sync.Once
+	linkDstTab []Node
+	linkDimTab []int32
 }
 
 // New constructs a torus shape from the per-dimension lengths. Every
@@ -322,6 +330,31 @@ func (s *Shape) LinkDir(l LinkID) Dir {
 // LinkDst returns the node at the receiving end of link l.
 func (s *Shape) LinkDst(l LinkID) Node {
 	return s.Neighbor(s.LinkSrc(l), s.LinkDim(l), s.LinkDir(l))
+}
+
+// LinkTables returns dense per-LinkID lookup tables for LinkDst and
+// LinkDim, indexed by LinkID over [0, LinkSlots()). They are built once per
+// shape on first use and shared by every caller, so hot loops (the
+// simulator processes one LinkDst lookup per packet hop) avoid the
+// div/mod chains of the accessor methods. Callers must treat the returned
+// slices as read-only. Entries for invalid link slots (the Minus direction
+// of 2-rings) hold the dimension but a zero destination; filter with
+// ValidLink where it matters.
+func (s *Shape) LinkTables() (dst []Node, dim []int32) {
+	s.linkOnce.Do(func() {
+		slots := s.LinkSlots()
+		dstTab := make([]Node, slots)
+		dimTab := make([]int32, slots)
+		for l := 0; l < slots; l++ {
+			id := LinkID(l)
+			dimTab[l] = int32(s.LinkDim(id))
+			if s.ValidLink(id) {
+				dstTab[l] = s.LinkDst(id)
+			}
+		}
+		s.linkDstTab, s.linkDimTab = dstTab, dimTab
+	})
+	return s.linkDstTab, s.linkDimTab
 }
 
 // ValidLink reports whether slot l is a real link (excludes the unused

@@ -2,6 +2,7 @@ package torus
 
 import (
 	"math/rand/v2"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -453,5 +454,47 @@ func TestValid(t *testing.T) {
 	}
 	if s.Valid(-1) || s.Valid(9) {
 		t.Error("out-of-range nodes should be invalid")
+	}
+}
+
+func TestLinkTablesMatchAccessors(t *testing.T) {
+	for _, s := range []*Shape{MustNew(4, 5), MustNew(2, 3, 4), MustNew(2, 2, 2)} {
+		dst, dim := s.LinkTables()
+		if len(dst) != s.LinkSlots() || len(dim) != s.LinkSlots() {
+			t.Fatalf("%v: table sizes %d/%d, want %d", s, len(dst), len(dim), s.LinkSlots())
+		}
+		for l := 0; l < s.LinkSlots(); l++ {
+			id := LinkID(l)
+			if int(dim[l]) != s.LinkDim(id) {
+				t.Fatalf("%v link %d: dim table %d, accessor %d", s, l, dim[l], s.LinkDim(id))
+			}
+			if s.ValidLink(id) && dst[l] != s.LinkDst(id) {
+				t.Fatalf("%v link %d: dst table %d, accessor %d", s, l, dst[l], s.LinkDst(id))
+			}
+		}
+		// The tables are built once and shared.
+		dst2, dim2 := s.LinkTables()
+		if &dst2[0] != &dst[0] || &dim2[0] != &dim[0] {
+			t.Fatalf("%v: LinkTables rebuilt instead of cached", s)
+		}
+	}
+}
+
+func TestLinkTablesConcurrent(t *testing.T) {
+	s := MustNew(6, 6)
+	var wg sync.WaitGroup
+	tables := make([][]Node, 8)
+	for i := range tables {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], _ = s.LinkTables()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tables); i++ {
+		if &tables[i][0] != &tables[0][0] {
+			t.Fatal("concurrent LinkTables calls produced different tables")
+		}
 	}
 }

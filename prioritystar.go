@@ -79,6 +79,9 @@ type (
 	SimConfig = sim.Config
 	// SimResult holds one run's measured statistics.
 	SimResult = sim.Result
+	// SimRunner executes simulations while reusing internal buffers
+	// across runs; give each worker goroutine its own.
+	SimRunner = sim.Runner
 	// DeliverEvent is the payload of SimConfig.OnDeliver tracing hooks.
 	DeliverEvent = sim.DeliverEvent
 	// CappedMetric selects the delay a DelayCappedThroughput search bounds.
