@@ -1,16 +1,21 @@
 GO ?= go
 
-.PHONY: all help build vet test race bench bench-json cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race fuzz bench bench-json cover figures figures-quick report examples clean
 
 all: build vet test race
+
+# The tier-1 gate: exactly what CI must keep green.
+check: vet build test
 
 help:
 	@echo "Targets:"
 	@echo "  all           build + vet + test + race (the full gate)"
+	@echo "  check         vet + build + test (the tier-1 CI gate)"
 	@echo "  build         go build ./..."
 	@echo "  vet           go vet ./..."
 	@echo "  test          go test ./..."
 	@echo "  race          race detector over the shared-state packages"
+	@echo "  fuzz          fuzz the FIFO ring buffer (FUZZTIME=30s to change)"
 	@echo "  bench         go test -bench over every figure benchmark"
 	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
 	@echo "                (make bench-json BENCH_BASELINE=old.json for speedups)"
@@ -24,7 +29,13 @@ help:
 # The race detector over the packages with shared state (parallel sweeps,
 # lazy per-shape link tables, pooled runners).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs
+
+# Coverage-guided fuzzing of the queue's power-of-two ring arithmetic; the
+# seeded corpus also runs on every plain `go test` (tier-1).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzFIFO -fuzztime $(FUZZTIME) ./internal/queue
 
 build:
 	$(GO) build ./...

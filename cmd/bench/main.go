@@ -79,6 +79,12 @@ type Measurement struct {
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op,omitempty"`
 	Speedup             float64 `json:"speedup,omitempty"`
+
+	// Probe-attached variant, present only with -probe: the same workload
+	// measured with the standard observability bundle attached, and the
+	// fractional slowdown it causes ((plain - probed) / plain).
+	ProbeSlotsPerSec float64 `json:"probe_slots_per_sec,omitempty"`
+	ProbeOverhead    float64 `json:"probe_overhead,omitempty"`
 }
 
 // File is the BENCH_sim.json document.
@@ -91,7 +97,7 @@ type File struct {
 	Benchmarks []Measurement `json:"benchmarks"`
 }
 
-func run(w workload) (Measurement, error) {
+func run(w workload, probe bool) (Measurement, error) {
 	shape, err := prioritystar.NewTorus(w.Dims...)
 	if err != nil {
 		return Measurement{}, err
@@ -104,23 +110,32 @@ func run(w workload) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	var benchErr error
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := prioritystar.Simulate(prioritystar.SimConfig{
-				Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
-				Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
-			}); err != nil {
-				benchErr = err
-				b.FailNow()
+	measure := func(attach bool) (testing.BenchmarkResult, error) {
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var p prioritystar.Probe
+				if attach {
+					p = prioritystar.NewStandardProbes(shape, w.Warmup, w.Measure)
+				}
+				if _, err := prioritystar.Simulate(prioritystar.SimConfig{
+					Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
+					Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
+					Probe: p,
+				}); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
 			}
-		}
-	})
-	if benchErr != nil {
-		return Measurement{}, benchErr
+		})
+		return r, benchErr
 	}
-	return Measurement{
+	r, err := measure(false)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{
 		Name:         w.Name,
 		Iterations:   r.N,
 		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
@@ -128,13 +143,23 @@ func run(w workload) (Measurement, error) {
 		AllocsPerOp:  r.AllocsPerOp(),
 		SlotsPerSec:  float64(w.slots()) * float64(r.N) / r.T.Seconds(),
 		SlotsPerIter: w.slots(),
-	}, nil
+	}
+	if probe {
+		pr, err := measure(true)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m.ProbeSlotsPerSec = float64(w.slots()) * float64(pr.N) / pr.T.Seconds()
+		m.ProbeOverhead = (m.SlotsPerSec - m.ProbeSlotsPerSec) / m.SlotsPerSec
+	}
+	return m, nil
 }
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "previous BENCH_sim.json to embed as the 'before' numbers")
 	quick := flag.Bool("quick", false, "smoke-sized workloads (4x fewer slots)")
+	probe := flag.Bool("probe", false, "also measure each workload with the standard probe bundle attached")
 	flag.Parse()
 
 	var before map[string]Measurement
@@ -163,7 +188,7 @@ func main() {
 		Quick:     *quick,
 	}
 	for _, w := range workloads(*quick) {
-		m, err := run(w)
+		m, err := run(w, *probe)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", w.Name, err)
 			os.Exit(1)
@@ -175,10 +200,14 @@ func main() {
 			m.Speedup = m.SlotsPerSec / b.SlotsPerSec
 		}
 		file.Benchmarks = append(file.Benchmarks, m)
-		if m.Speedup > 0 {
+		switch {
+		case m.Speedup > 0:
 			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op  (%.2fx vs baseline)\n",
 				m.Name, m.SlotsPerSec, m.AllocsPerOp, m.Speedup)
-		} else {
+		case m.ProbeSlotsPerSec > 0:
+			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op  (probed %.0f slots/s, %+.1f%% overhead)\n",
+				m.Name, m.SlotsPerSec, m.AllocsPerOp, m.ProbeSlotsPerSec, 100*m.ProbeOverhead)
+		default:
 			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op\n", m.Name, m.SlotsPerSec, m.AllocsPerOp)
 		}
 	}

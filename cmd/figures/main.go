@@ -51,18 +51,19 @@ func metricsFor(id string) []struct {
 
 func main() {
 	var (
-		scaleFlag = flag.String("scale", "standard", "quick, standard, or full")
-		idFlag    = flag.String("id", "", "run a single experiment (default: all)")
-		outFlag   = flag.String("out", "", "directory for CSV series (optional)")
+		scaleFlag    = flag.String("scale", "standard", "quick, standard, or full")
+		idFlag       = flag.String("id", "", "run a single experiment (default: all)")
+		outFlag      = flag.String("out", "", "directory for CSV series (optional)")
+		progressFlag = flag.Bool("progress", true, "report live sweep progress on stderr")
 	)
 	flag.Parse()
-	if err := run(*scaleFlag, *idFlag, *outFlag); err != nil {
+	if err := run(*scaleFlag, *idFlag, *outFlag, *progressFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleStr, id, out string) error {
+func run(scaleStr, id, out string, progress bool) error {
 	scale, err := cli.ParseScale(scaleStr)
 	if err != nil {
 		return err
@@ -82,6 +83,16 @@ func run(scaleStr, id, out string) error {
 			return err
 		}
 		fmt.Printf("=== %s: %s ===\n%s\n\n", exp.ID, exp.Title, exp.Notes)
+		if progress {
+			// The sweep collector invokes this serially, so a bare \r
+			// rewrite is safe; the final newline lands before the tables.
+			exp.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d runs", exp.ID, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
 		res, err := exp.Run()
 		if err != nil {
 			return err

@@ -6,53 +6,75 @@
 //	starsim -shape 8x8 -scheme priority-star -rho 0.8
 //	starsim -shape 4x4x8 -scheme separate-fcfs -frac 0.5 -sweep 0.5,0.7,0.9
 //	starsim -shape 8x8 -scheme fcfs-direct -rho 0.9 -len geom:4 -csv
+//	starsim -shape 8x8 -rho 0.8 -metrics-json run.json   # instrumented run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"prioritystar"
+	"prioritystar/internal/balance"
 	"prioritystar/internal/cli"
+	"prioritystar/internal/obs"
+	"prioritystar/internal/sim"
 	"prioritystar/internal/spec"
+	"prioritystar/internal/sweep"
+	"prioritystar/internal/traffic"
 )
 
+// options collects the workload flags shared by the sweep and the
+// instrumented-run paths.
+type options struct {
+	shape, scheme, sweepStr, lenStr string
+	rho, frac                       float64
+	seed                            uint64
+	warmup, measure, drain          int64
+	reps                            int
+	floor, csv, dump, dimReport     bool
+	metricsJSON                     string
+}
+
 func main() {
-	var (
-		shapeFlag  = flag.String("shape", "8x8", "torus shape, e.g. 8x8 or 4x4x8")
-		schemeFlag = flag.String("scheme", "priority-star", "routing scheme: "+cli.SchemeNames())
-		rhoFlag    = flag.Float64("rho", 0.8, "throughput factor for a single run")
-		sweepFlag  = flag.String("sweep", "", "comma-separated rho grid (overrides -rho)")
-		fracFlag   = flag.Float64("frac", 1, "fraction of transmission load from broadcasts")
-		lenFlag    = flag.String("len", "fixed:1", "packet lengths: fixed:N or geom:MEAN")
-		seedFlag   = flag.Uint64("seed", 1, "base RNG seed")
-		warmupFlag = flag.Int64("warmup", 3000, "warm-up slots")
-		measure    = flag.Int64("measure", 10000, "measurement slots")
-		drainFlag  = flag.Int64("drain", 4000, "drain slots")
-		repsFlag   = flag.Int("reps", 3, "replications per sweep point")
-		floorFlag  = flag.Bool("floor", false, "use the paper's floor(n/4) distance model")
-		csvFlag    = flag.Bool("csv", false, "emit CSV instead of tables")
-		specFlag   = flag.String("spec", "", "run a JSON experiment spec file (overrides workload flags)")
-		dumpFlag   = flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
-	)
+	var o options
+	flag.StringVar(&o.shape, "shape", "8x8", "torus shape, e.g. 8x8 or 4x4x8")
+	flag.StringVar(&o.scheme, "scheme", "priority-star", "routing scheme: "+cli.SchemeNames())
+	flag.Float64Var(&o.rho, "rho", 0.8, "throughput factor for a single run")
+	flag.StringVar(&o.sweepStr, "sweep", "", "comma-separated rho grid (overrides -rho)")
+	flag.Float64Var(&o.frac, "frac", 1, "fraction of transmission load from broadcasts")
+	flag.StringVar(&o.lenStr, "len", "fixed:1", "packet lengths: fixed:N or geom:MEAN")
+	flag.Uint64Var(&o.seed, "seed", 1, "base RNG seed")
+	flag.Int64Var(&o.warmup, "warmup", 3000, "warm-up slots")
+	flag.Int64Var(&o.measure, "measure", 10000, "measurement slots")
+	flag.Int64Var(&o.drain, "drain", 4000, "drain slots")
+	flag.IntVar(&o.reps, "reps", 3, "replications per sweep point")
+	flag.BoolVar(&o.floor, "floor", false, "use the paper's floor(n/4) distance model")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of tables")
+	flag.BoolVar(&o.dimReport, "dim-report", false, "print the per-dimension link-utilization report")
+	flag.StringVar(&o.metricsJSON, "metrics-json", "",
+		"run one probe-instrumented simulation at -rho and write its metrics report (JSON) here, plus a .manifest.json sidecar")
+	specFlag := flag.String("spec", "", "run a JSON experiment spec file (overrides workload flags)")
+	dumpFlag := flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
 	flag.Parse()
+	o.dump = *dumpFlag
 	if *specFlag != "" {
-		if err := runSpec(*specFlag, *csvFlag, *dumpFlag); err != nil {
+		if err := runSpec(*specFlag, o); err != nil {
 			fmt.Fprintln(os.Stderr, "starsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*shapeFlag, *schemeFlag, *rhoFlag, *sweepFlag, *fracFlag, *lenFlag,
-		*seedFlag, *warmupFlag, *measure, *drainFlag, *repsFlag, *floorFlag, *csvFlag, *dumpFlag); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "starsim:", err)
 		os.Exit(1)
 	}
 }
 
 // runSpec loads and executes a JSON experiment spec file.
-func runSpec(path string, csv, dump bool) error {
+func runSpec(path string, o options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -62,54 +84,132 @@ func runSpec(path string, csv, dump bool) error {
 	if err != nil {
 		return err
 	}
-	if dump {
+	if o.dump {
 		return spec.Save(os.Stdout, exp)
 	}
-	return render(exp, exp.BroadcastFrac, csv)
+	return render(exp, exp.BroadcastFrac, o)
 }
 
-func run(shapeStr, schemeStr string, rho float64, sweepStr string, frac float64, lenStr string,
-	seed uint64, warmup, measure, drain int64, reps int, floor, csv, dump bool) error {
-	dims, err := cli.ParseShape(shapeStr)
+func run(o options) error {
+	dims, err := cli.ParseShape(o.shape)
 	if err != nil {
 		return err
 	}
-	schemeSpec, err := cli.SchemeByName(schemeStr)
+	schemeSpec, err := cli.SchemeByName(o.scheme)
 	if err != nil {
 		return err
 	}
-	length, err := cli.ParseLength(lenStr)
+	length, err := cli.ParseLength(o.lenStr)
 	if err != nil {
 		return err
 	}
 	model := prioritystar.ExactDistance
-	if floor {
+	if o.floor {
 		model = prioritystar.PaperFloorDistance
 	}
 
-	rhos := []float64{rho}
-	if sweepStr != "" {
-		if rhos, err = cli.ParseRhos(sweepStr); err != nil {
+	if o.metricsJSON != "" {
+		if o.sweepStr != "" {
+			return fmt.Errorf("-metrics-json instruments a single run; drop -sweep")
+		}
+		return runMetrics(dims, schemeSpec, length, model, o)
+	}
+
+	rhos := []float64{o.rho}
+	if o.sweepStr != "" {
+		if rhos, err = cli.ParseRhos(o.sweepStr); err != nil {
 			return err
 		}
 	}
 	exp := &prioritystar.Experiment{
 		ID:    "cli",
-		Title: fmt.Sprintf("starsim %s on %s", schemeStr, shapeStr),
-		Dims:  dims, Rhos: rhos, BroadcastFrac: frac,
+		Title: fmt.Sprintf("starsim %s on %s", o.scheme, o.shape),
+		Dims:  dims, Rhos: rhos, BroadcastFrac: o.frac,
 		Schemes: []prioritystar.SchemeSpec{schemeSpec},
 		Length:  length, Model: model,
-		Warmup: warmup, Measure: measure, Drain: drain,
-		Reps: reps, BaseSeed: seed,
+		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
+		Reps: o.reps, BaseSeed: o.seed,
 	}
-	if dump {
+	if o.dump {
 		return spec.Save(os.Stdout, exp)
 	}
-	return render(exp, frac, csv)
+	return render(exp, o.frac, o)
+}
+
+// runMetrics executes one probe-instrumented simulation and writes the
+// metrics report plus its run manifest.
+func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDist,
+	model balance.DistanceModel, o options) error {
+	shape, err := prioritystar.NewTorus(dims...)
+	if err != nil {
+		return err
+	}
+	rates, err := traffic.RatesForRho(shape, o.rho, o.frac, length.Mean(), model)
+	if err != nil {
+		return err
+	}
+	sch, err := schemeSpec.Build(shape, rates, model)
+	if err != nil {
+		return err
+	}
+	std := obs.NewStandard(shape, o.warmup, o.measure)
+	res, err := sim.Run(sim.Config{
+		Shape: shape, Scheme: sch, Rates: rates, Length: length, Seed: o.seed,
+		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
+		Probe: std,
+	})
+	if err != nil {
+		return err
+	}
+
+	m := obs.NewManifest(dims, schemeSpec.Name, o.seed, rates.LambdaB, rates.LambdaR,
+		o.warmup, o.measure, o.drain)
+	m.Rho = o.rho
+	m.Length = o.lenStr
+	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+
+	rep := std.Report(m)
+	rep.Result = map[string]float64{
+		"reception_mean":      res.Reception.Mean(),
+		"broadcast_mean":      res.Broadcast.Mean(),
+		"unicast_mean":        res.Unicast.Mean(),
+		"avg_utilization":     res.AvgUtilization,
+		"max_dim_utilization": res.MaxDimUtilization,
+		"generated_tasks":     float64(res.GeneratedBroadcasts + res.GeneratedUnicasts),
+	}
+	if res.Stable(shape) {
+		rep.Result["stable"] = 1
+	} else {
+		rep.Result["stable"] = 0
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if o.metricsJSON == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(o.metricsJSON, data, 0o644); err != nil {
+			return err
+		}
+		if err := m.Save(obs.ManifestPath(o.metricsJSON)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s and %s\n", o.metricsJSON, obs.ManifestPath(o.metricsJSON))
+	}
+	for _, dl := range rep.DimLoad {
+		fmt.Printf("dim %d: %d links, %d services, utilization %.4f\n",
+			dl.Dim, dl.Links, dl.Services, dl.Utilization)
+	}
+	fmt.Printf("reception delay %.3f, backlog p99 %d, queue-depth p99 %d\n",
+		res.Reception.Mean(), rep.Backlog.P99, rep.QueueDepth.P99)
+	return nil
 }
 
 // render runs the experiment and prints the requested output format.
-func render(exp *prioritystar.Experiment, frac float64, csv bool) error {
+func render(exp *prioritystar.Experiment, frac float64, o options) error {
 	res, err := exp.Run()
 	if err != nil {
 		return err
@@ -123,11 +223,14 @@ func render(exp *prioritystar.Experiment, frac float64, csv bool) error {
 	metrics = append(metrics, prioritystar.MetricAvgUtil, prioritystar.MetricMaxDimUtil,
 		prioritystar.MetricHighWait, prioritystar.MetricLowWait)
 	for _, m := range metrics {
-		if csv {
+		if o.csv {
 			fmt.Printf("# %s\n%s", m, res.CSV(m))
 		} else {
 			fmt.Println(res.Table(m))
 		}
+	}
+	if o.dimReport {
+		fmt.Println(res.DimLoadReport())
 	}
 	fmt.Printf("elapsed: %s\n", res.Elapsed.Round(1e7))
 	return nil

@@ -1,0 +1,113 @@
+package balance
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"prioritystar/internal/torus"
+)
+
+// checkSimplex asserts v is a probability vector over the shape's
+// dimensions: nonnegative entries summing to 1.
+func checkSimplex(t *testing.T, dims []int, v Vector) {
+	t.Helper()
+	if len(v.X) != len(dims) {
+		t.Fatalf("%v: vector has %d entries", dims, len(v.X))
+	}
+	sum := 0.0
+	for i, x := range v.X {
+		if x < 0 || x > 1 {
+			t.Errorf("%v: x[%d] = %v outside [0,1]", dims, i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("%v: entries sum to %v", dims, sum)
+	}
+}
+
+// TestBroadcastOnlyVectorProperties solves Eq. (2) on randomized shapes and
+// checks the simplex invariants plus the symmetric-torus closed form: on an
+// n-ary d-cube every ending dimension is equally likely, so x = 1/d.
+func TestBroadcastOnlyVectorProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + int(rng.UintN(4))
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + int(rng.UintN(8)) // ring sizes 2..9
+		}
+		s := torus.MustNew(dims...)
+		v, err := BroadcastOnly(s)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		checkSimplex(t, dims, v)
+	}
+
+	// Symmetric n-ary d-cubes: exact uniform solution, always feasible.
+	for _, nd := range [][2]int{{2, 1}, {3, 2}, {8, 2}, {4, 3}, {2, 5}, {5, 4}} {
+		n, d := nd[0], nd[1]
+		s, err := torus.NAryDCube(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := BroadcastOnly(s)
+		if err != nil {
+			t.Fatalf("%d-ary %d-cube: %v", n, d, err)
+		}
+		if !v.Feasible {
+			t.Errorf("%d-ary %d-cube: symmetric solution reported infeasible", n, d)
+		}
+		for i, x := range v.X {
+			if math.Abs(x-1/float64(d)) > 1e-9 {
+				t.Errorf("%d-ary %d-cube: x[%d] = %v, want %v", n, d, i, x, 1/float64(d))
+			}
+		}
+	}
+}
+
+// TestHeterogeneousVectorProperties: Eq. (4) solutions are probability
+// vectors for randomized shapes and traffic mixes, under both distance
+// models, and clamping on infeasible instances still lands on the simplex.
+func TestHeterogeneousVectorProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + int(rng.UintN(4))
+		dims := make([]int, d)
+		for i := range dims {
+			dims[i] = 2 + int(rng.UintN(8))
+		}
+		s := torus.MustNew(dims...)
+		lambdaB := rng.Float64() * 0.05
+		lambdaR := rng.Float64() * 0.5
+		if lambdaB == 0 && lambdaR == 0 {
+			lambdaB = 0.01
+		}
+		model := ExactDistance
+		if trial%2 == 1 {
+			model = PaperFloorDistance
+		}
+		v, err := Heterogeneous(s, lambdaB, lambdaR, model)
+		if err != nil {
+			t.Fatalf("%v lB=%v lR=%v: %v", dims, lambdaB, lambdaR, err)
+		}
+		checkSimplex(t, dims, v)
+
+		// On symmetric shapes the heterogeneous solution is uniform too.
+		sym := true
+		for _, n := range dims {
+			if n != dims[0] {
+				sym = false
+			}
+		}
+		if sym {
+			for i, x := range v.X {
+				if math.Abs(x-1/float64(d)) > 1e-9 {
+					t.Errorf("%v: symmetric x[%d] = %v, want %v", dims, i, x, 1/float64(d))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+// Run manifests: every metrics or trace file is written alongside a small
+// JSON document pinning the exact run that produced it — topology, scheme,
+// seed, rates, horizon, and the git revision of the build — so results stay
+// reproducible after the tree moves on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// ManifestSchema identifies the manifest document version.
+const ManifestSchema = "prioritystar-obs/v1"
+
+// Manifest pins the run that produced a metrics or trace file.
+type Manifest struct {
+	Schema    string  `json:"schema"`
+	CreatedAt string  `json:"created_at,omitempty"` // RFC 3339, set by the caller
+	GitRev    string  `json:"git_rev,omitempty"`
+	GoVersion string  `json:"go_version,omitempty"`
+	Dims      []int   `json:"dims"`
+	Scheme    string  `json:"scheme"`
+	Seed      uint64  `json:"seed"`
+	LambdaB   float64 `json:"lambda_b"`
+	LambdaR   float64 `json:"lambda_r"`
+	Rho       float64 `json:"rho,omitempty"`
+	Length    string  `json:"length,omitempty"` // fixed:N | geom:MEAN
+	Warmup    int64   `json:"warmup"`
+	Measure   int64   `json:"measure"`
+	Drain     int64   `json:"drain"`
+}
+
+// NewManifest fills a manifest with the run parameters plus the build's
+// go version and git revision (when the binary embeds VCS info).
+func NewManifest(dims []int, scheme string, seed uint64, lambdaB, lambdaR float64,
+	warmup, measure, drain int64) Manifest {
+	return Manifest{
+		Schema:    ManifestSchema,
+		GitRev:    GitRevision(),
+		GoVersion: runtime.Version(),
+		Dims:      dims,
+		Scheme:    scheme,
+		Seed:      seed,
+		LambdaB:   lambdaB,
+		LambdaR:   lambdaR,
+		Warmup:    warmup,
+		Measure:   measure,
+		Drain:     drain,
+	}
+}
+
+// GitRevision returns the VCS revision embedded in the running binary
+// ("" when built without VCS stamping, e.g. under `go test`).
+func GitRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// ManifestPath returns the sidecar manifest path for a data file.
+func ManifestPath(dataPath string) string { return dataPath + ".manifest.json" }
+
+// Save writes the manifest as indented JSON.
+func (m Manifest) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadManifest reads a manifest written by Save.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("obs: parsing %s: %w", path, err)
+	}
+	return m, nil
+}

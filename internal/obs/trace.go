@@ -1,0 +1,381 @@
+package obs
+
+// Binary event traces. A trace file is:
+//
+//	magic "PSOBS1\n"
+//	uvarint manifest length, manifest JSON
+//	records...
+//
+// Each record is an opcode byte, a uvarint slot delta (slots are
+// non-decreasing across the event stream, so deltas stay tiny), and a fixed
+// opcode-specific list of uvarint fields. Deliver and Spawn pack their
+// booleans into a single flags field. The format is append-only and
+// self-describing enough for cmd/trace to replay any recorded run without
+// the code that produced it.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"prioritystar/internal/torus"
+)
+
+// TraceMagic opens every trace file.
+const TraceMagic = "PSOBS1\n"
+
+// EventType discriminates trace records.
+type EventType uint8
+
+// Trace record opcodes.
+const (
+	EvEnqueue EventType = iota + 1
+	EvService
+	EvDeliver
+	EvSpawn
+	EvSlotEnd
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EvEnqueue:
+		return "enqueue"
+	case EvService:
+		return "service"
+	case EvDeliver:
+		return "deliver"
+	case EvSpawn:
+		return "spawn"
+	case EvSlotEnd:
+		return "slot-end"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// Flag bits for Deliver and Spawn records.
+const (
+	flagBroadcast = 1 << iota
+	flagFinal
+	flagMeasured
+)
+
+// Event is one decoded trace record. Only the fields relevant to Type are
+// populated.
+type Event struct {
+	Type EventType
+	Slot int64
+
+	// Enqueue and Service.
+	Link  torus.LinkID
+	Dim   int
+	Class int
+	Depth int // Enqueue only
+
+	// Service.
+	Length int32
+	Wait   int64
+
+	// Deliver.
+	Node      torus.Node
+	Broadcast bool
+	Final     bool
+	Delay     int64
+
+	// Spawn.
+	Measured bool
+
+	// SlotEnd.
+	Backlog int64
+}
+
+// TraceWriter is a Probe that streams every engine event to a binary trace.
+// Writes are buffered; call Flush before closing the underlying writer and
+// check Err for any deferred write error.
+type TraceWriter struct {
+	w        *bufio.Writer
+	lastSlot int64
+	events   int64
+	err      error
+	buf      [binary.MaxVarintLen64]byte
+}
+
+// NewTraceWriter writes the trace header (magic plus embedded manifest) and
+// returns a writer ready to record events.
+func NewTraceWriter(w io.Writer, m Manifest) (*TraceWriter, error) {
+	t := &TraceWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	mjson, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("obs: encoding trace manifest: %w", err)
+	}
+	if _, err := t.w.WriteString(TraceMagic); err != nil {
+		return nil, err
+	}
+	t.uvarint(uint64(len(mjson)))
+	if _, err := t.w.Write(mjson); err != nil {
+		return nil, err
+	}
+	if t.err != nil {
+		return nil, t.err
+	}
+	return t, nil
+}
+
+func (t *TraceWriter) uvarint(v uint64) {
+	if t.err != nil {
+		return
+	}
+	n := binary.PutUvarint(t.buf[:], v)
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		t.err = err
+	}
+}
+
+func (t *TraceWriter) begin(op EventType, slot int64) {
+	if t.err != nil {
+		return
+	}
+	if err := t.w.WriteByte(byte(op)); err != nil {
+		t.err = err
+		return
+	}
+	t.uvarint(uint64(slot - t.lastSlot))
+	t.lastSlot = slot
+	t.events++
+}
+
+// Enqueue implements Probe.
+func (t *TraceWriter) Enqueue(slot int64, link torus.LinkID, dim, class, depth int) {
+	t.begin(EvEnqueue, slot)
+	t.uvarint(uint64(link))
+	t.uvarint(uint64(dim))
+	t.uvarint(uint64(class))
+	t.uvarint(uint64(depth))
+}
+
+// Service implements Probe.
+func (t *TraceWriter) Service(slot int64, link torus.LinkID, dim, class int, length int32, wait int64) {
+	t.begin(EvService, slot)
+	t.uvarint(uint64(link))
+	t.uvarint(uint64(dim))
+	t.uvarint(uint64(class))
+	t.uvarint(uint64(length))
+	t.uvarint(uint64(wait))
+}
+
+// Deliver implements Probe.
+func (t *TraceWriter) Deliver(slot int64, node torus.Node, broadcast, final bool, delay int64) {
+	t.begin(EvDeliver, slot)
+	t.uvarint(uint64(node))
+	flags := uint64(0)
+	if broadcast {
+		flags |= flagBroadcast
+	}
+	if final {
+		flags |= flagFinal
+	}
+	t.uvarint(flags)
+	t.uvarint(uint64(delay))
+}
+
+// Spawn implements Probe.
+func (t *TraceWriter) Spawn(slot int64, broadcast, measured bool) {
+	t.begin(EvSpawn, slot)
+	flags := uint64(0)
+	if broadcast {
+		flags |= flagBroadcast
+	}
+	if measured {
+		flags |= flagMeasured
+	}
+	t.uvarint(flags)
+}
+
+// SlotEnd implements Probe.
+func (t *TraceWriter) SlotEnd(slot int64, backlog int64) {
+	t.begin(EvSlotEnd, slot)
+	t.uvarint(uint64(backlog))
+}
+
+// Events returns the number of records written so far.
+func (t *TraceWriter) Events() int64 { return t.events }
+
+// Flush drains the internal buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (t *TraceWriter) Err() error { return t.err }
+
+// TraceReader decodes a trace file sequentially.
+type TraceReader struct {
+	r        *bufio.Reader
+	m        Manifest
+	lastSlot int64
+}
+
+// NewTraceReader validates the header and decodes the embedded manifest.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	t := &TraceReader{r: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(TraceMagic))
+	if _, err := io.ReadFull(t.r, magic); err != nil {
+		return nil, fmt.Errorf("obs: reading trace magic: %w", err)
+	}
+	if string(magic) != TraceMagic {
+		return nil, fmt.Errorf("obs: not a trace file (magic %q)", magic)
+	}
+	mlen, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading manifest length: %w", err)
+	}
+	if mlen > 1<<20 {
+		return nil, fmt.Errorf("obs: unreasonable manifest length %d", mlen)
+	}
+	mjson := make([]byte, mlen)
+	if _, err := io.ReadFull(t.r, mjson); err != nil {
+		return nil, fmt.Errorf("obs: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(mjson, &t.m); err != nil {
+		return nil, fmt.Errorf("obs: parsing trace manifest: %w", err)
+	}
+	return t, nil
+}
+
+// Manifest returns the manifest embedded in the trace header.
+func (t *TraceReader) Manifest() Manifest { return t.m }
+
+func (t *TraceReader) field() (uint64, error) {
+	v, err := binary.ReadUvarint(t.r)
+	if err == io.EOF {
+		// EOF inside a record is corruption, not a clean end.
+		return 0, io.ErrUnexpectedEOF
+	}
+	return v, err
+}
+
+// Next decodes the next record. It returns io.EOF at a clean end of trace
+// and io.ErrUnexpectedEOF for a record cut short.
+func (t *TraceReader) Next() (Event, error) {
+	op, err := t.r.ReadByte()
+	if err != nil {
+		return Event{}, err // io.EOF here is the clean end
+	}
+	delta, err := t.field()
+	if err != nil {
+		return Event{}, err
+	}
+	t.lastSlot += int64(delta)
+	ev := Event{Type: EventType(op), Slot: t.lastSlot}
+	read := func(dst *uint64) bool {
+		if err != nil {
+			return false
+		}
+		*dst, err = t.field()
+		return err == nil
+	}
+	var a, b, c, d, e uint64
+	switch ev.Type {
+	case EvEnqueue:
+		if read(&a) && read(&b) && read(&c) && read(&d) {
+			ev.Link = torus.LinkID(a)
+			ev.Dim = int(b)
+			ev.Class = int(c)
+			ev.Depth = int(d)
+		}
+	case EvService:
+		if read(&a) && read(&b) && read(&c) && read(&d) && read(&e) {
+			ev.Link = torus.LinkID(a)
+			ev.Dim = int(b)
+			ev.Class = int(c)
+			ev.Length = int32(d)
+			ev.Wait = int64(e)
+		}
+	case EvDeliver:
+		if read(&a) && read(&b) && read(&c) {
+			ev.Node = torus.Node(a)
+			ev.Broadcast = b&flagBroadcast != 0
+			ev.Final = b&flagFinal != 0
+			ev.Delay = int64(c)
+		}
+	case EvSpawn:
+		if read(&a) {
+			ev.Broadcast = a&flagBroadcast != 0
+			ev.Measured = a&flagMeasured != 0
+		}
+	case EvSlotEnd:
+		if read(&a) {
+			ev.Backlog = int64(a)
+		}
+	default:
+		return Event{}, fmt.Errorf("obs: unknown trace opcode %d at slot %d", op, ev.Slot)
+	}
+	if err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// TraceSummary is what replaying a trace yields: event counts and the load
+// aggregates recomputable from the stream alone.
+type TraceSummary struct {
+	Events      int64   `json:"events"`
+	Enqueues    int64   `json:"enqueues"`
+	Services    int64   `json:"services"`
+	Delivers    int64   `json:"delivers"`
+	Finals      int64   `json:"finals"`
+	Broadcasts  int64   `json:"broadcasts"`
+	Spawns      int64   `json:"spawns"`
+	Slots       int64   `json:"slots"`
+	LastSlot    int64   `json:"last_slot"`
+	MaxBacklog  int64   `json:"max_backlog"`
+	DimServices []int64 `json:"dim_services"`
+}
+
+// Summarize replays the remaining records of a trace into a summary.
+func Summarize(r *TraceReader) (TraceSummary, error) {
+	var s TraceSummary
+	s.DimServices = make([]int64, len(r.Manifest().Dims))
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return s, nil
+		}
+		if err != nil {
+			return s, err
+		}
+		s.Events++
+		s.LastSlot = ev.Slot
+		switch ev.Type {
+		case EvEnqueue:
+			s.Enqueues++
+		case EvService:
+			s.Services++
+			for ev.Dim >= len(s.DimServices) {
+				s.DimServices = append(s.DimServices, 0)
+			}
+			s.DimServices[ev.Dim]++
+		case EvDeliver:
+			s.Delivers++
+			if ev.Final {
+				s.Finals++
+			}
+			if ev.Broadcast {
+				s.Broadcasts++
+			}
+		case EvSpawn:
+			s.Spawns++
+		case EvSlotEnd:
+			s.Slots++
+			if ev.Backlog > s.MaxBacklog {
+				s.MaxBacklog = ev.Backlog
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"prioritystar/internal/balance"
 	"prioritystar/internal/core"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
 )
@@ -125,5 +126,49 @@ func TestEngineUtilizationMatchesBalancePrediction(t *testing.T) {
 		if math.Abs(res.DimUtilization[i]-want[i]) > 0.03 {
 			t.Errorf("dim %d: measured %0.4f, predicted %0.4f", i, res.DimUtilization[i], want[i])
 		}
+	}
+}
+
+// TestProbeDimLoadMatchesEq2: the observability layer's independently
+// accumulated per-dimension link utilization must (a) agree bit-for-bit
+// with the engine's own Result.DimUtilization, and (b) on a symmetric
+// torus under the balanced STAR scheme, match Eq. (2)'s prediction that
+// every dimension carries the same load, equal to rho.
+func TestProbeDimLoadMatchesEq2(t *testing.T) {
+	s := torus.MustNew(6, 6)
+	rho := 0.6
+	rates, err := traffic.RatesForRho(s, rho, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.PrioritySTAR(s, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup, measure := int64(1000), int64(12000)
+	load := obs.NewLinkLoad(s, warmup, measure)
+	res, err := Run(Config{Shape: s, Scheme: sch, Rates: rates, Seed: 13,
+		Warmup: warmup, Measure: measure, Probe: load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := load.DimUtilization()
+	want := balance.PredictedDimUtilization(s, balance.Uniform(s.Dims()).X,
+		rates.LambdaB, rates.LambdaR, balance.ExactDistance)
+	for i := range got {
+		if got[i] != res.DimUtilization[i] {
+			t.Errorf("dim %d: probe %v, engine %v", i, got[i], res.DimUtilization[i])
+		}
+		// Eq. (2) on a symmetric torus: balanced load, each dimension at rho.
+		if math.Abs(got[i]-want[i]) > 0.03 {
+			t.Errorf("dim %d: measured %0.4f, Eq. (2) predicts %0.4f", i, got[i], want[i])
+		}
+		if math.Abs(got[i]-rho) > 0.03 {
+			t.Errorf("dim %d: measured %0.4f, rho is %0.4f", i, got[i], rho)
+		}
+	}
+	// Balance itself: the spread between dimensions stays within noise.
+	if spread := math.Abs(got[0] - got[1]); spread > 0.02 {
+		t.Errorf("per-dimension spread %0.4f on a symmetric torus", spread)
 	}
 }

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"io"
 	"reflect"
 	"testing"
 
 	"prioritystar/internal/balance"
 	"prioritystar/internal/core"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
 )
@@ -117,4 +119,98 @@ func TestTruncatedRunThenReuse(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("run after truncated run diverged:\n got %+v\nwant %+v", got, want)
 	}
+}
+
+// TestProbeAttachedBitIdentical asserts the zero-overhead contract from the
+// observer's side: attaching probes (including a trace writer streaming
+// every event) must not perturb the simulation. Results with Probe set must
+// be bit-identical to results with Probe == nil.
+func TestProbeAttachedBitIdentical(t *testing.T) {
+	cases := []Config{
+		detCase(t, []int{8, 8}, 0.8, 1, core.TwoLevel, 1, 41),
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 42),
+		detCase(t, []int{4, 4, 8}, 0.6, 0.5, core.ThreeLevel, 4, 43),
+	}
+	for i, cfg := range cases {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probed := cfg
+		probed.Probe = obs.Multi{
+			obs.NewStandard(cfg.Shape, cfg.Warmup, cfg.Measure),
+			&obs.Counters{},
+			mustTraceWriter(t, io.Discard),
+		}
+		got, err := Run(probed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: probes perturbed the run:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestRunnerReuseWithProbes asserts that buffer reuse and probes compose: a
+// reused Runner with probes attached matches a fresh engine without them,
+// and the probe from a previous run never leaks into the next (release
+// clears the probe reference).
+func TestRunnerReuseWithProbes(t *testing.T) {
+	cases := []Config{
+		detCase(t, []int{8, 8}, 0.8, 1, core.TwoLevel, 1, 51),
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 52),
+		detCase(t, []int{4, 5}, 0.5, 0.7, core.FCFS, 1, 53),
+	}
+	var runner Runner
+	var prev *obs.Counters
+	var prevSlots int64
+	for i, cfg := range cases {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt := &obs.Counters{}
+		probed := cfg
+		probed.Probe = cnt
+		got, err := runner.Run(probed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("case %d: probed reused runner diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+		if cnt.Slots != cfg.Warmup+cfg.Measure+cfg.Drain {
+			t.Errorf("case %d: probe saw %d slots", i, cnt.Slots)
+		}
+		if prev != nil && prev.Slots != prevSlots {
+			t.Errorf("case %d: earlier run's probe mutated after its run ended", i)
+		}
+		prev, prevSlots = cnt, cnt.Slots
+	}
+	// A probe-free run on the same reused runner must also stay clean.
+	plain := cases[0]
+	got, err := runner.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("probe-free run after probed runs diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if prev.Slots != prevSlots {
+		t.Error("released probe received events from a later probe-free run")
+	}
+}
+
+func mustTraceWriter(t *testing.T, w io.Writer) *obs.TraceWriter {
+	t.Helper()
+	tw, err := obs.NewTraceWriter(w, obs.Manifest{Schema: obs.ManifestSchema, Dims: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tw
 }

@@ -24,6 +24,10 @@
 // performance"). Ready links are served in ascending LinkID order each
 // slot, which makes runs bit-identical to the historical full-scan engine
 // for a fixed seed.
+//
+// An optional observability probe (Config.Probe, see internal/obs) receives
+// enqueue/service/deliver/spawn/slot events; when unset each site costs one
+// nil comparison, and attaching a probe never changes the trajectory.
 package sim
 
 import (
@@ -33,6 +37,7 @@ import (
 	"sync"
 
 	"prioritystar/internal/core"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/queue"
 	"prioritystar/internal/stats"
 	"prioritystar/internal/torus"
@@ -71,6 +76,13 @@ type Config struct {
 	// arrival at the unicast destination). Intended for tests and tracing;
 	// it adds an indirect call per delivery.
 	OnDeliver func(DeliverEvent)
+
+	// Probe, when non-nil, receives every engine event (enqueue, service
+	// start, delivery, task spawn, end of slot) for metrics and tracing;
+	// see internal/obs. A nil probe costs exactly one pointer comparison
+	// per event site, and attaching one never changes the simulated
+	// trajectory: same-seed runs are bit-identical with and without it.
+	Probe obs.Probe
 
 	// ImpulseBroadcasts injects this many broadcast tasks per node at slot
 	// 0, modelling the static multinode-broadcast task of the paper's
@@ -211,6 +223,7 @@ type engine struct {
 	sch     *core.Scheme
 	rng     *rand.Rand
 	res     *Result
+	probe   obs.Probe // cached Config.Probe; nil-checked at every emit site
 	now     int64
 	wStart  int64
 	wEnd    int64
@@ -302,6 +315,7 @@ func (e *engine) release() {
 	e.sch = nil
 	e.rng = nil
 	e.res = nil
+	e.probe = nil
 	e.linkDst = nil
 	e.linkDim = nil
 }
@@ -317,6 +331,7 @@ func (e *engine) reset(cfg Config) {
 	e.sch = cfg.Scheme
 	e.rng = rand.New(rand.NewPCG(cfg.Seed, 0x57a12357))
 	e.res = &Result{} // escapes to the caller; never reused
+	e.probe = cfg.Probe
 	e.now = 0
 	e.wStart = cfg.Warmup
 	e.wEnd = cfg.Warmup + cfg.Measure
@@ -377,6 +392,9 @@ func (e *engine) run() {
 		e.deliverArrivals()
 		e.generate()
 		e.serviceReady()
+		if e.probe != nil {
+			e.probe.SlotEnd(e.now, e.backlog)
+		}
 		if e.now == e.wEnd-1 {
 			e.res.BacklogEnd = e.backlog
 		}
@@ -492,6 +510,9 @@ func (e *engine) deliverUnicast(node torus.Node, pkt *packet) {
 			Broadcast: false, Final: node == pkt.dest,
 		})
 	}
+	if e.probe != nil {
+		e.probe.Deliver(e.now, node, false, node == pkt.dest, e.now-pkt.birth)
+	}
 	if node == pkt.dest {
 		if pkt.measured {
 			e.res.Unicast.Add(float64(e.now - pkt.birth))
@@ -509,6 +530,9 @@ func (e *engine) deliverBroadcast(node torus.Node, pkt *packet) {
 			Slot: e.now, Node: node, Birth: pkt.birth, Task: pkt.task,
 			Broadcast: true, Final: true,
 		})
+	}
+	if e.probe != nil {
+		e.probe.Deliver(e.now, node, true, true, e.now-pkt.birth)
 	}
 	if pkt.measured {
 		e.res.Reception.Add(float64(e.now - pkt.birth))
@@ -542,6 +566,9 @@ func (e *engine) enqueue(node torus.Node, dim int, dir torus.Dir, pkt *packet) {
 	*slot = *pkt
 	slot.enq = e.now
 	e.backlog++
+	if e.probe != nil {
+		e.probe.Enqueue(e.now, l, dim, int(pkt.class), e.queues[l].Len())
+	}
 	if e.busyUntil[l] <= e.now {
 		e.markReady(l) // idle link gained work; examine it this slot
 	}
@@ -604,6 +631,9 @@ func (e *engine) newTask() int32 {
 }
 
 func (e *engine) spawnBroadcast(src torus.Node, measured bool) {
+	if e.probe != nil {
+		e.probe.Spawn(e.now, true, measured)
+	}
 	ending := e.sch.SampleEnding(e.rng)
 	pkt := packet{
 		birth:    e.now,
@@ -624,6 +654,9 @@ func (e *engine) spawnBroadcast(src torus.Node, measured bool) {
 }
 
 func (e *engine) spawnUnicast(src, dest torus.Node, measured bool) {
+	if e.probe != nil {
+		e.probe.Spawn(e.now, false, measured)
+	}
 	pkt := packet{
 		birth:    e.now,
 		task:     -1,
@@ -666,6 +699,9 @@ func (e *engine) serviceReady() {
 		e.backlog--
 		if t >= e.wStart && t < e.wEnd {
 			e.res.QueueWait[class].Add(float64(t - pkt.enq))
+		}
+		if e.probe != nil {
+			e.probe.Service(t, l, int(e.linkDim[l]), class, pkt.length, t-pkt.enq)
 		}
 		length := int64(pkt.length)
 		e.busyUntil[l] = t + length

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestLogHistogramZeroValue(t *testing.T) {
+	var h LogHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Errorf("zero value not empty: count=%d mean=%v q50=%d", h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+	if h.Buckets() != nil {
+		t.Errorf("zero value has buckets %v", h.Buckets())
+	}
+}
+
+func TestLogHistogramBuckets(t *testing.T) {
+	var h LogHistogram
+	for _, v := range []int64{0, 0, 1, 2, 3, 4, 7, 8, 1023, -5} {
+		h.Add(v)
+	}
+	// -5 clamps into the zero bucket.
+	want := []LogBucket{
+		{0, 0, 3}, {1, 1, 1}, {2, 3, 2}, {4, 7, 2}, {8, 15, 1}, {512, 1023, 1},
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("count %d", h.Count())
+	}
+	if h.Max() != 1023 || h.Min() != -5 {
+		t.Errorf("min/max %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestLogHistogramQuantile(t *testing.T) {
+	var h LogHistogram
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	// The q-quantile upper bound must be >= the exact quantile and within
+	// one power of two of it.
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		exact := q * 99
+		got := float64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%g: bound %g below exact %g", q, got, exact)
+		}
+		if exact >= 1 && got > 2*exact+1 {
+			t.Errorf("q=%g: bound %g too loose for exact %g", q, got, exact)
+		}
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("out-of-range quantiles not clamped")
+	}
+}
+
+func TestLogHistogramMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	var a, b, both LogHistogram
+	for i := 0; i < 500; i++ {
+		v := int64(rng.UintN(1 << uint(rng.UintN(20))))
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		both.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Min() != both.Min() {
+		t.Errorf("merge count/min/max diverged")
+	}
+	if math.Abs(a.Mean()-both.Mean()) > 1e-9*math.Abs(both.Mean()) {
+		t.Errorf("merged mean %v, combined %v", a.Mean(), both.Mean())
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Errorf("q=%g: merged %d, combined %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestLogHistogramLargeValues(t *testing.T) {
+	var h LogHistogram
+	h.Add(math.MaxInt64)
+	h.Add(math.MaxInt64)
+	if h.Quantile(1) != math.MaxInt64 {
+		t.Errorf("quantile of MaxInt64 observations = %d", h.Quantile(1))
+	}
+	bs := h.Buckets()
+	if len(bs) != 1 || bs[0].Hi != math.MaxInt64 || bs[0].Count != 2 {
+		t.Errorf("buckets %v", bs)
+	}
+}

@@ -88,6 +88,12 @@ type Experiment struct {
 	MaxBacklog             int64
 	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
 	Workers int
+
+	// Progress, when non-nil, is called after every completed replication
+	// with the number finished so far and the total. Calls come from the
+	// single collector goroutine in completion order, so implementations
+	// need no locking; long sweeps use it for live progress display.
+	Progress func(done, total int)
 }
 
 func (e *Experiment) validate() error {
@@ -119,6 +125,10 @@ type Point struct {
 	LowWait    stats.Summary // queue wait of the lowest class in use
 	AvgUtil    stats.Summary
 	MaxDimUtil stats.Summary
+	// DimUtil[i] aggregates dimension i's measured link utilization across
+	// replications — the per-dimension load the balance equations predict
+	// equal for a balanced scheme (see Result.DimLoadReport).
+	DimUtil []stats.Summary
 
 	GeneratedBroadcasts  int64
 	IncompleteBroadcasts int64
@@ -227,7 +237,12 @@ func (e *Experiment) Run() (*Result, error) {
 	cells := make(map[cellKey]*Point)
 	shapes := shape // for Stable()
 	var firstErr error
+	done := 0
 	for out := range outCh {
+		done++
+		if e.Progress != nil {
+			e.Progress(done, len(jobs))
+		}
 		if out.err != nil {
 			if firstErr == nil {
 				firstErr = out.err
@@ -248,6 +263,12 @@ func (e *Experiment) Run() (*Result, error) {
 		p.LowWait.AddRep(r.QueueWait[low].Mean())
 		p.AvgUtil.AddRep(r.AvgUtilization)
 		p.MaxDimUtil.AddRep(r.MaxDimUtilization)
+		if p.DimUtil == nil {
+			p.DimUtil = make([]stats.Summary, len(r.DimUtilization))
+		}
+		for i, u := range r.DimUtilization {
+			p.DimUtil[i].AddRep(u)
+		}
 		p.GeneratedBroadcasts += r.GeneratedBroadcasts
 		p.IncompleteBroadcasts += r.IncompleteBroadcasts
 		if !r.Stable(shapes) {
@@ -426,6 +447,38 @@ func (r *Result) CSV(m Metric) string {
 			fmt.Fprintf(&b, ",%g,%g,%d", p.Value(m), p.summary(m).HalfWidth95(), p.UnstableReps)
 		}
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DimLoadReport renders the per-dimension link utilization of every
+// (scheme, rho) cell, with the spread between the most and least loaded
+// dimension. This is the quantity Eq. 2 (and Eq. 4 for mixed traffic)
+// predicts equal across dimensions for a balanced scheme; an unbalanced
+// baseline shows its throughput loss here as a persistent spread.
+func (r *Result) DimLoadReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — per-dimension link utilization (%s)\n", r.Exp.Title, shapeName(r.Exp.Dims))
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%s:\n", s.Scheme.Name)
+		for ri, rho := range r.Exp.Rhos {
+			p := s.Points[ri]
+			fmt.Fprintf(&b, "  rho %5.3f:", rho)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := range p.DimUtil {
+				v := p.DimUtil[i].Mean()
+				fmt.Fprintf(&b, "  d%d=%.4f", i, v)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			if len(p.DimUtil) > 0 {
+				fmt.Fprintf(&b, "  spread=%.4f", hi-lo)
+			}
+			if p.UnstableReps > 0 {
+				b.WriteString("  *")
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

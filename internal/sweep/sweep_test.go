@@ -412,3 +412,63 @@ func TestTableMarksUnstableCells(t *testing.T) {
 		t.Errorf("unstable cell not marked:\n%s", table)
 	}
 }
+
+func TestProgressCallbackCoversAllJobs(t *testing.T) {
+	e := tinyExperiment()
+	var calls []int
+	lastTotal := 0
+	e.Progress = func(done, total int) {
+		calls = append(calls, done)
+		lastTotal = total
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantJobs := len(e.Schemes) * len(e.Rhos) * e.Reps
+	if lastTotal != wantJobs {
+		t.Errorf("total %d, want %d", lastTotal, wantJobs)
+	}
+	if len(calls) != wantJobs {
+		t.Fatalf("%d progress calls for %d jobs", len(calls), wantJobs)
+	}
+	// The collector invokes Progress serially in completion order, so done
+	// must count up 1..N.
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("call %d reported done=%d", i, d)
+		}
+	}
+}
+
+func TestDimUtilAggregatedPerPoint(t *testing.T) {
+	e := tinyExperiment()
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := torus.MustNew(e.Dims...)
+	for _, series := range res.Series {
+		for pi, p := range series.Points {
+			if len(p.DimUtil) != s.Dims() {
+				t.Fatalf("%s point %d: %d dims", series.Scheme.Name, pi, len(p.DimUtil))
+			}
+			var sum float64
+			for _, u := range p.DimUtil {
+				if u.N() != e.Reps {
+					t.Errorf("%s point %d: dim summary has %d reps", series.Scheme.Name, pi, u.N())
+				}
+				sum += u.Mean()
+			}
+			if avg := sum / float64(s.Dims()); math.Abs(avg-p.Value(MetricAvgUtil)) > 1e-9 {
+				t.Errorf("%s point %d: dim-util average %g, avg-util metric %g",
+					series.Scheme.Name, pi, avg, p.Value(MetricAvgUtil))
+			}
+		}
+	}
+	rep := res.DimLoadReport()
+	for _, want := range []string{"per-dimension link utilization", "priority-STAR", "rho 0.800", "d0=", "d1=", "spread="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("DimLoadReport missing %q:\n%s", want, rep)
+		}
+	}
+}

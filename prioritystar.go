@@ -33,6 +33,7 @@ import (
 	"prioritystar/internal/balance"
 	"prioritystar/internal/core"
 	"prioritystar/internal/finite"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/static"
 	"prioritystar/internal/sweep"
@@ -84,6 +85,15 @@ type (
 	SimRunner = sim.Runner
 	// DeliverEvent is the payload of SimConfig.OnDeliver tracing hooks.
 	DeliverEvent = sim.DeliverEvent
+	// Probe observes engine events when set on SimConfig.Probe; nil costs
+	// nothing on the hot path.
+	Probe = obs.Probe
+	// StandardProbes bundles the link-load, occupancy, and service-share
+	// probes behind one Probe.
+	StandardProbes = obs.Standard
+	// RunManifest identifies a recorded run (shape, scheme, seed, rates,
+	// horizon, git revision) alongside metrics and trace files.
+	RunManifest = obs.Manifest
 	// CappedMetric selects the delay a DelayCappedThroughput search bounds.
 	CappedMetric = sweep.CappedMetric
 	// Experiment is a replicated sweep over throughput factors.
@@ -202,6 +212,12 @@ func DimOrderFCFS(s *Shape) (*Scheme, error) { return core.DimOrderFCFS(s) }
 
 // Simulate executes one simulation run.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewStandardProbes builds the standard observability bundle for one run
+// measuring [warmup, warmup+measure).
+func NewStandardProbes(s *Shape, warmup, measure int64) *StandardProbes {
+	return obs.NewStandard(s, warmup, measure)
+}
 
 // Figure returns a predefined experiment reproducing the given paper figure
 // (see FigureIDs for the catalogue).
