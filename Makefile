@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: all help check build vet test race fuzz bench bench-json cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race lint smoke-faults fuzz bench bench-json cover figures figures-quick report examples clean
 
 all: build vet test race
 
-# The tier-1 gate: exactly what CI must keep green.
-check: vet build test
+# The tier-1 gate: exactly what CI must keep green, plus a faulted smoke
+# sweep proving the robustness path stays wired end to end.
+check: vet build test smoke-faults
 
 help:
 	@echo "Targets:"
@@ -15,7 +16,10 @@ help:
 	@echo "  vet           go vet ./..."
 	@echo "  test          go test ./..."
 	@echo "  race          race detector over the shared-state packages"
-	@echo "  fuzz          fuzz the FIFO ring buffer (FUZZTIME=30s to change)"
+	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
+	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
+	@echo "  fuzz          fuzz the FIFO ring buffer and the trace reader"
+	@echo "                (FUZZTIME=30s to change)"
 	@echo "  bench         go test -bench over every figure benchmark"
 	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
 	@echo "                (make bench-json BENCH_BASELINE=old.json for speedups)"
@@ -27,15 +31,40 @@ help:
 	@echo "  clean         remove generated outputs"
 
 # The race detector over the packages with shared state (parallel sweeps,
-# lazy per-shape link tables, pooled runners).
+# lazy per-shape link tables, pooled runners, fault timelines).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault
 
-# Coverage-guided fuzzing of the queue's power-of-two ring arithmetic; the
-# seeded corpus also runs on every plain `go test` (tier-1).
+# Static analysis: vet always; staticcheck only when installed (the build
+# image does not ship it — skip with a note rather than fail).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+
+# Smoke test of the robustness stack: a faulted, watchdogged 4x4 sweep with
+# a checkpoint journal, resumed once to prove replay works.
+smoke-faults:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/starsim -shape 4x4 -sweep 0.3,0.8 -reps 1 \
+		-warmup 200 -measure 1000 -drain 500 \
+		-faults perm:1,trans:800/40,seed:7 -watchdog -timeout 60s \
+		-checkpoint $$tmp/smoke.jsonl >/dev/null || exit 1; \
+	$(GO) run ./cmd/starsim -shape 4x4 -sweep 0.3,0.8 -reps 1 \
+		-warmup 200 -measure 1000 -drain 500 \
+		-faults perm:1,trans:800/40,seed:7 -watchdog -timeout 60s \
+		-checkpoint $$tmp/smoke.jsonl -resume >/dev/null || exit 1; \
+	rm -rf $$tmp; echo "smoke-faults: ok"
+
+# Coverage-guided fuzzing of the queue's power-of-two ring arithmetic and the
+# binary trace decoder; the seeded corpora also run on every plain `go test`
+# (tier-1).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzFIFO -fuzztime $(FUZZTIME) ./internal/queue
+	$(GO) test -fuzz FuzzTraceReader -fuzztime $(FUZZTIME) ./internal/obs
 
 build:
 	$(GO) build ./...

@@ -55,15 +55,19 @@ func main() {
 		idFlag       = flag.String("id", "", "run a single experiment (default: all)")
 		outFlag      = flag.String("out", "", "directory for CSV series (optional)")
 		progressFlag = flag.Bool("progress", true, "report live sweep progress on stderr")
+		ckptFlag     = flag.String("checkpoint", "",
+			"directory for per-figure JSONL checkpoint journals")
+		resumeFlag = flag.Bool("resume", false,
+			"replay existing checkpoint journals and run only missing replications")
 	)
 	flag.Parse()
-	if err := run(*scaleFlag, *idFlag, *outFlag, *progressFlag); err != nil {
+	if err := run(*scaleFlag, *idFlag, *outFlag, *progressFlag, *ckptFlag, *resumeFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleStr, id, out string, progress bool) error {
+func run(scaleStr, id, out string, progress bool, ckptDir string, resume bool) error {
 	scale, err := cli.ParseScale(scaleStr)
 	if err != nil {
 		return err
@@ -77,10 +81,22 @@ func run(scaleStr, id, out string, progress bool) error {
 			return err
 		}
 	}
+	if resume && ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint DIR")
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
 	for _, fid := range ids {
 		exp, err := prioritystar.Figure(fid, scale)
 		if err != nil {
 			return err
+		}
+		if ckptDir != "" {
+			exp.Checkpoint = filepath.Join(ckptDir, fmt.Sprintf("%s_%s.jsonl", fid, scaleStr))
+			exp.Resume = resume
 		}
 		fmt.Printf("=== %s: %s ===\n%s\n\n", exp.ID, exp.Title, exp.Notes)
 		if progress {

@@ -36,6 +36,40 @@ type options struct {
 	reps                            int
 	floor, csv, dump, dimReport     bool
 	metricsJSON                     string
+
+	faultsStr  string
+	timeout    time.Duration
+	watchdog   bool
+	checkpoint string
+	resume     bool
+}
+
+// robustness resolves the fault/guard/checkpoint flags against a shape and
+// applies them to the experiment.
+func (o *options) robustness(exp *prioritystar.Experiment) error {
+	faults, err := cli.ParseFaults(o.faultsStr)
+	if err != nil {
+		return err
+	}
+	if faults != nil {
+		exp.Faults = faults
+	}
+	if o.watchdog {
+		shape, err := prioritystar.NewTorus(exp.Dims...)
+		if err != nil {
+			return err
+		}
+		exp.Guard = sim.DefaultGuard(shape)
+	}
+	if o.timeout > 0 {
+		exp.Guard.Timeout = o.timeout
+	}
+	exp.Checkpoint = o.checkpoint
+	exp.Resume = o.resume
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint FILE")
+	}
+	return nil
 }
 
 func main() {
@@ -56,6 +90,15 @@ func main() {
 	flag.BoolVar(&o.dimReport, "dim-report", false, "print the per-dimension link-utilization report")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "",
 		"run one probe-instrumented simulation at -rho and write its metrics report (JSON) here, plus a .manifest.json sidecar")
+	flag.StringVar(&o.faultsStr, "faults", "",
+		"fault schedule, e.g. perm:2,link:5,node:3,trans:500/50,seed:7")
+	flag.DurationVar(&o.timeout, "timeout", 0, "wall-clock limit per simulation run (e.g. 30s)")
+	flag.BoolVar(&o.watchdog, "watchdog", false,
+		"arm the divergence watchdog so saturated points terminate early")
+	flag.StringVar(&o.checkpoint, "checkpoint", "",
+		"journal completed sweep replications to this JSONL file")
+	flag.BoolVar(&o.resume, "resume", false,
+		"replay the -checkpoint journal and run only what it is missing")
 	specFlag := flag.String("spec", "", "run a JSON experiment spec file (overrides workload flags)")
 	dumpFlag := flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
 	flag.Parse()
@@ -82,6 +125,9 @@ func runSpec(path string, o options) error {
 	defer f.Close()
 	exp, err := spec.Load(f)
 	if err != nil {
+		return err
+	}
+	if err := o.robustness(exp); err != nil {
 		return err
 	}
 	if o.dump {
@@ -130,6 +176,9 @@ func run(o options) error {
 		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
 		Reps: o.reps, BaseSeed: o.seed,
 	}
+	if err := o.robustness(exp); err != nil {
+		return err
+	}
 	if o.dump {
 		return spec.Save(os.Stdout, exp)
 	}
@@ -152,14 +201,26 @@ func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDi
 	if err != nil {
 		return err
 	}
+	faults, err := cli.ParseFaults(o.faultsStr)
+	if err != nil {
+		return err
+	}
+	var guard sim.Guard
+	if o.watchdog {
+		guard = sim.DefaultGuard(shape)
+	}
+	guard.Timeout = o.timeout
 	std := obs.NewStandard(shape, o.warmup, o.measure)
 	res, err := sim.Run(sim.Config{
 		Shape: shape, Scheme: sch, Rates: rates, Length: length, Seed: o.seed,
 		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
-		Probe: std,
+		Probe: std, Faults: faults, Guard: guard,
 	})
 	if err != nil {
 		return err
+	}
+	if res.Status != sim.StatusOK {
+		fmt.Fprintf(os.Stderr, "starsim: run ended with status %s\n", res.Status)
 	}
 
 	m := obs.NewManifest(dims, schemeSpec.Name, o.seed, rates.LambdaB, rates.LambdaR,
@@ -181,6 +242,11 @@ func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDi
 		rep.Result["stable"] = 1
 	} else {
 		rep.Result["stable"] = 0
+	}
+	if faults != nil {
+		rep.Result["lost_copies"] = float64(res.LostCopies)
+		rep.Result["degraded_tasks"] = float64(res.DegradedTasks)
+		rep.Result["reachability_mean"] = res.Reachability.Mean()
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -231,6 +297,14 @@ func render(exp *prioritystar.Experiment, frac float64, o options) error {
 	}
 	if o.dimReport {
 		fmt.Println(res.DimLoadReport())
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.FailedReps > 0 {
+				fmt.Fprintf(os.Stderr, "starsim: %s rho %.3f: %d failed replications (%s)\n",
+					s.Scheme.Name, p.Rho, p.FailedReps, p.Error)
+			}
+		}
 	}
 	fmt.Printf("elapsed: %s\n", res.Elapsed.Round(1e7))
 	return nil

@@ -235,6 +235,9 @@ func formatEvent(ev obs.Event) string {
 			ev.Slot, ev.Broadcast, ev.Measured)
 	case obs.EvSlotEnd:
 		return fmt.Sprintf("slot %6d slot-end backlog %d", ev.Slot, ev.Backlog)
+	case obs.EvFault:
+		return fmt.Sprintf("slot %6d fault    link %d permanent=%t lost %d",
+			ev.Slot, ev.Link, ev.Permanent, ev.Lost)
 	default:
 		return fmt.Sprintf("slot %6d unknown type %d", ev.Slot, ev.Type)
 	}

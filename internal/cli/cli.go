@@ -7,7 +7,9 @@ import (
 	"strconv"
 	"strings"
 
+	"prioritystar/internal/fault"
 	"prioritystar/internal/sweep"
+	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
 )
 
@@ -98,6 +100,73 @@ func ParseRhos(s string) ([]float64, error) {
 		rhos = append(rhos, v)
 	}
 	return rhos, nil
+}
+
+// ParseFaults parses a fault-schedule description, the inverse of
+// fault.Schedule.String. The syntax is a comma-separated list of clauses:
+//
+//	perm:N          N random links fail permanently (chosen by the seed)
+//	link:ID         link ID fails permanently
+//	node:ID         node ID fails permanently (all its incident links)
+//	trans:MTBF/MTTR transient faults on every link, geometric up/down means
+//	seed:S          seed for random selection and transient timelines
+//
+// An empty string yields a nil schedule (no faults).
+func ParseFaults(s string) (*fault.Schedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	sched := &fault.Schedule{}
+	for _, clause := range strings.Split(s, ",") {
+		kind, arg, ok := strings.Cut(strings.TrimSpace(clause), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad fault clause %q: want kind:value", clause)
+		}
+		switch kind {
+		case "perm":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad perm count %q", arg)
+			}
+			sched.RandomLinks += n
+		case "link":
+			id, err := strconv.Atoi(arg)
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("bad link id %q", arg)
+			}
+			sched.Links = append(sched.Links, torus.LinkID(id))
+		case "node":
+			id, err := strconv.Atoi(arg)
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("bad node id %q", arg)
+			}
+			sched.Nodes = append(sched.Nodes, torus.Node(id))
+		case "trans":
+			mtbf, mttr, ok := strings.Cut(arg, "/")
+			if !ok {
+				return nil, fmt.Errorf("bad transient spec %q: want MTBF/MTTR", arg)
+			}
+			b, err := strconv.ParseFloat(mtbf, 64)
+			if err != nil || b <= 0 {
+				return nil, fmt.Errorf("bad MTBF %q", mtbf)
+			}
+			r, err := strconv.ParseFloat(mttr, 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("bad MTTR %q", mttr)
+			}
+			sched.MTBF, sched.MTTR = b, r
+		case "seed":
+			v, err := strconv.ParseUint(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad fault seed %q", arg)
+			}
+			sched.Seed = v
+		default:
+			return nil, fmt.Errorf("unknown fault clause %q (want perm, link, node, trans, or seed)", kind)
+		}
+	}
+	return sched, nil
 }
 
 // ParseScale parses a predefined-experiment scale name.

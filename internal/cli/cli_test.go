@@ -71,6 +71,38 @@ func TestParseScale(t *testing.T) {
 	}
 }
 
+func TestParseFaults(t *testing.T) {
+	if s, err := ParseFaults(""); err != nil || s != nil {
+		t.Errorf("empty faults = %v, %v; want nil schedule", s, err)
+	}
+	s, err := ParseFaults("perm:2, link:7 ,node:3,trans:500/50,seed:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RandomLinks != 2 || len(s.Links) != 1 || s.Links[0] != 7 ||
+		len(s.Nodes) != 1 || s.Nodes[0] != 3 ||
+		s.MTBF != 500 || s.MTTR != 50 || s.Seed != 42 {
+		t.Errorf("parsed schedule = %+v", s)
+	}
+	// ParseFaults inverts Schedule.String.
+	back, err := ParseFaults(s.String())
+	if err != nil || back.String() != s.String() {
+		t.Errorf("round trip: %q -> %q (%v)", s.String(), back.String(), err)
+	}
+	for _, bad := range []string{
+		"perm", "perm:0", "perm:x",
+		"link:-1", "link:x",
+		"node:-2", "node:x",
+		"trans:500", "trans:0/50", "trans:500/0", "trans:x/50",
+		"seed:x", "seed:-1",
+		"blah:1",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) should fail", bad)
+		}
+	}
+}
+
 func TestSchemeByName(t *testing.T) {
 	spec, err := SchemeByName("priority-star")
 	if err != nil || spec.Name != sweep.PrioritySTARSpec.Name {

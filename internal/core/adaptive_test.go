@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"prioritystar/internal/torus"
+)
+
+// upAll is a fault oracle for a fully healthy network.
+func upAll(int, torus.Dir) bool { return false }
+
+// TestAdaptiveMatchesObliviousWhenHealthy: with no faults the adaptive
+// router must make exactly the oblivious choice for every (cur, dest, tie)
+// triple — the engine relies on this to keep fault-free behaviour identical.
+func TestAdaptiveMatchesObliviousWhenHealthy(t *testing.T) {
+	shapes := []*torus.Shape{
+		torus.MustNew(4, 4),
+		torus.MustNew(5, 3),
+		torus.MustNew(2, 2, 2),
+		torus.MustNew(6, 2, 4),
+	}
+	for _, s := range shapes {
+		for cur := torus.Node(0); int(cur) < s.Size(); cur++ {
+			for dest := torus.Node(0); int(dest) < s.Size(); dest++ {
+				for _, tie := range []uint32{0, 0xffffffff, 0b1010} {
+					od, odir, odone := UnicastNextHop(s, cur, dest, tie)
+					ad, adir, live, adone := UnicastNextHopAdaptive(s, cur, dest, tie, upAll)
+					if odone != adone {
+						t.Fatalf("%v %d->%d: done mismatch %t vs %t", s, cur, dest, odone, adone)
+					}
+					if adone {
+						continue
+					}
+					if !live {
+						t.Fatalf("%v %d->%d: healthy network reported no live hop", s, cur, dest)
+					}
+					if od != ad || odir != adir {
+						t.Fatalf("%v %d->%d tie=%x: oblivious (%d,%v) vs adaptive (%d,%v)",
+							s, cur, dest, tie, od, odir, ad, adir)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveReroutesToOtherDimension: the preferred dimension's link is
+// down but another profitable dimension is up, so the router must switch.
+func TestAdaptiveReroutesToOtherDimension(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	cur, dest := torus.Node(0), s.Node([]int{1, 1}) // profitable: dim0+, dim1+
+	pd, pdir, _ := UnicastNextHop(s, cur, dest, 0)
+	down := func(dim int, dir torus.Dir) bool { return dim == pd && dir == pdir }
+	dim, dir, live, done := UnicastNextHopAdaptive(s, cur, dest, 0, down)
+	if done || !live {
+		t.Fatalf("done=%t live=%t, want a live alternative hop", done, live)
+	}
+	if dim == pd {
+		t.Errorf("router stayed on failed dimension %d", dim)
+	}
+	if dir != torus.Plus {
+		t.Errorf("alternative hop direction %v is not profitable", dir)
+	}
+}
+
+// TestAdaptiveTriesTieDirection: at an offset of exactly n/2 both ring
+// directions are shortest; with the preferred one down the router must take
+// the opposite direction of the SAME dimension before changing dimensions.
+func TestAdaptiveTriesTieDirection(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	cur, dest := torus.Node(0), s.Node([]int{2, 0}) // offset 2 on a 4-ring: tie
+	for _, tie := range []uint32{0, 1} {
+		pd, pdir, _ := UnicastNextHop(s, cur, dest, tie)
+		down := func(dim int, dir torus.Dir) bool { return dim == pd && dir == pdir }
+		dim, dir, live, done := UnicastNextHopAdaptive(s, cur, dest, tie, down)
+		if done || !live {
+			t.Fatalf("tie=%d: done=%t live=%t", tie, done, live)
+		}
+		if dim != pd || dir != -pdir {
+			t.Errorf("tie=%d: got (%d,%v), want opposite direction (%d,%v)", tie, dim, dir, pd, -pdir)
+		}
+	}
+}
+
+// TestAdaptiveWaitsWhenAllProfitableDown: every profitable hop failed — the
+// router reports live == false and hands back the preferred hop to wait on.
+func TestAdaptiveWaitsWhenAllProfitableDown(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	cur, dest := torus.Node(0), s.Node([]int{1, 1})
+	pd, pdir, _ := UnicastNextHop(s, cur, dest, 0)
+	allDown := func(int, torus.Dir) bool { return true }
+	dim, dir, live, done := UnicastNextHopAdaptive(s, cur, dest, 0, allDown)
+	if done {
+		t.Fatal("done at distance 2")
+	}
+	if live {
+		t.Fatal("live hop reported with every link down")
+	}
+	if dim != pd || dir != pdir {
+		t.Errorf("waiting hop (%d,%v), want the preferred (%d,%v)", dim, dir, pd, pdir)
+	}
+}
+
+// TestAdaptiveDoneAtDestination: no profitable dimension means done,
+// regardless of the fault state.
+func TestAdaptiveDoneAtDestination(t *testing.T) {
+	s := torus.MustNew(3, 3)
+	allDown := func(int, torus.Dir) bool { return true }
+	if _, _, _, done := UnicastNextHopAdaptive(s, 4, 4, 0, allDown); !done {
+		t.Error("cur == dest must report done")
+	}
+}

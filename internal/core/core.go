@@ -359,6 +359,52 @@ func UnicastNextHop(s *torus.Shape, cur, dest torus.Node, tieMask uint32) (dim i
 	return 0, torus.Plus, true
 }
 
+// UnicastNextHopAdaptive is the minimal-adaptive variant of UnicastNextHop
+// used when links can fail: it returns the first profitable hop (a dimension
+// with a nonzero offset, traversed in a shortest direction) whose link is not
+// rejected by down. When the offset is exactly n/2 both directions are
+// shortest, so the non-preferred direction is tried before moving to the
+// next profitable dimension. When every profitable hop is down, the
+// preferred hop is returned with live == false and the caller waits on it
+// (packets never take non-minimal detours). done is true when cur == dest.
+func UnicastNextHopAdaptive(s *torus.Shape, cur, dest torus.Node, tieMask uint32,
+	down func(dim int, dir torus.Dir) bool) (dim int, dir torus.Dir, live, done bool) {
+	havePref := false
+	var prefDim int
+	var prefDir torus.Dir
+	for i := 0; i < s.Dims(); i++ {
+		off := s.RingOffset(cur, dest, i)
+		if off == 0 {
+			continue
+		}
+		n := s.Dim(i)
+		d := torus.Plus
+		tie := false
+		switch {
+		case n == 2 || 2*off < n:
+		case 2*off > n:
+			d = torus.Minus
+		case tieMask&(1<<uint(i)) != 0:
+			d, tie = torus.Minus, true
+		default:
+			tie = true
+		}
+		if !havePref {
+			havePref, prefDim, prefDir = true, i, d
+		}
+		if !down(i, d) {
+			return i, d, true, false
+		}
+		if tie && !down(i, -d) {
+			return i, -d, true, false
+		}
+	}
+	if !havePref {
+		return 0, torus.Plus, false, true
+	}
+	return prefDim, prefDir, false, false
+}
+
 // SampleTieMask draws one random tie-breaking bit per dimension.
 func SampleTieMask(rng *rand.Rand, dims int) uint32 {
 	if dims > 32 {

@@ -1,0 +1,325 @@
+// Package fault provides deterministic, seedable fault schedules for the
+// simulator in internal/sim. A Schedule describes which directed links of a
+// torus misbehave and how:
+//
+//   - permanent link failures, either named explicitly (Links), derived from
+//     failed nodes (Nodes: every link into or out of the node fails), or
+//     drawn uniformly at random from the valid links (RandomLinks, seeded);
+//   - transient link faults with geometric up/down holding times (MTBF mean
+//     slots between failures, MTTR mean slots to repair), modelling a link
+//     that independently fails with probability 1/MTBF per up-slot and
+//     recovers with probability 1/MTTR per down-slot.
+//
+// Compile resolves a Schedule against a concrete shape into the form the
+// engine consults before servicing a link. Every source of randomness is
+// derived from Schedule.Seed and the link ID alone, so a schedule replays
+// the exact same fault timeline on every run regardless of the traffic
+// pattern, the engine seed, or the order in which links are queried —
+// faulted runs stay as reproducible as fault-free ones.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+
+	"prioritystar/internal/torus"
+)
+
+// Schedule describes the faults of one run. The zero value is the empty
+// schedule (no faults). Schedules are plain data: they can be shared across
+// runs and goroutines; each Compile produces an independent timeline.
+type Schedule struct {
+	// Seed derives the random permanent-link selection and every transient
+	// timeline. Two compiles of the same schedule on the same shape produce
+	// identical fault behaviour.
+	Seed uint64
+
+	// Links fail permanently from slot 0.
+	Links []torus.LinkID
+	// Nodes fail permanently from slot 0: every link into or out of a
+	// listed node is treated as permanently failed.
+	Nodes []torus.Node
+	// RandomLinks additional valid links, chosen uniformly without
+	// replacement using Seed, fail permanently from slot 0.
+	RandomLinks int
+
+	// MTBF and MTTR enable transient faults on every link when both are
+	// positive: up and down periods are geometric with these means (slots).
+	MTBF float64
+	MTTR float64
+}
+
+// Empty reports whether the schedule injects no faults at all.
+func (s *Schedule) Empty() bool {
+	return s == nil ||
+		(len(s.Links) == 0 && len(s.Nodes) == 0 && s.RandomLinks == 0 &&
+			!(s.MTBF > 0 && s.MTTR > 0))
+}
+
+// Validate checks the schedule against a shape without compiling it.
+func (s *Schedule) Validate(shape *torus.Shape) error {
+	if shape == nil {
+		return fmt.Errorf("fault: nil shape")
+	}
+	if s == nil {
+		return nil
+	}
+	for _, l := range s.Links {
+		if !shape.ValidLink(l) {
+			return fmt.Errorf("fault: link %d is not a valid link of the %v", l, shape)
+		}
+	}
+	for _, u := range s.Nodes {
+		if !shape.Valid(u) {
+			return fmt.Errorf("fault: node %d is not a node of the %v", u, shape)
+		}
+	}
+	if s.RandomLinks < 0 {
+		return fmt.Errorf("fault: negative RandomLinks %d", s.RandomLinks)
+	}
+	if s.RandomLinks > shape.Links() {
+		return fmt.Errorf("fault: RandomLinks %d exceeds the %d links of the %v",
+			s.RandomLinks, shape.Links(), shape)
+	}
+	if math.IsNaN(s.MTBF) || math.IsInf(s.MTBF, 0) || math.IsNaN(s.MTTR) || math.IsInf(s.MTTR, 0) {
+		return fmt.Errorf("fault: MTBF/MTTR must be finite, got %g/%g", s.MTBF, s.MTTR)
+	}
+	if s.MTBF < 0 || s.MTTR < 0 {
+		return fmt.Errorf("fault: negative MTBF/MTTR %g/%g", s.MTBF, s.MTTR)
+	}
+	if (s.MTBF > 0) != (s.MTTR > 0) {
+		return fmt.Errorf("fault: transient faults need both MTBF and MTTR, got %g/%g", s.MTBF, s.MTTR)
+	}
+	if s.MTBF > 0 && s.MTBF < 1 {
+		return fmt.Errorf("fault: MTBF %g is below one slot", s.MTBF)
+	}
+	if s.MTTR > 0 && s.MTTR < 1 {
+		return fmt.Errorf("fault: MTTR %g is below one slot", s.MTTR)
+	}
+	return nil
+}
+
+// String renders the schedule in the CLI syntax understood by
+// internal/cli.ParseFaults ("" for the empty schedule).
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var parts []string
+	if s.RandomLinks > 0 {
+		parts = append(parts, fmt.Sprintf("perm:%d", s.RandomLinks))
+	}
+	for _, l := range s.Links {
+		parts = append(parts, fmt.Sprintf("link:%d", l))
+	}
+	for _, u := range s.Nodes {
+		parts = append(parts, fmt.Sprintf("node:%d", u))
+	}
+	if s.MTBF > 0 {
+		parts = append(parts, fmt.Sprintf("trans:%g/%g", s.MTBF, s.MTTR))
+	}
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed:%d", s.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+// transState is the lazily advanced up/down timeline of one link. The state
+// holds until slot `until` (exclusive); the per-link RNG draws the next
+// holding time at each transition, so the timeline depends only on
+// (Schedule.Seed, link) and never on the query pattern.
+type transState struct {
+	rng   rand.PCG
+	until int64
+	up    bool
+}
+
+// Compiled is a schedule resolved against a shape, ready for the engine's
+// per-slot queries. Queries for one link must use non-decreasing slots (the
+// engine's simulated clock only moves forward); different links are
+// independent. A Compiled is not safe for concurrent use.
+type Compiled struct {
+	shape *torus.Shape
+	perm  []uint64 // bitmap over link slots: permanently failed
+	trans []transState
+	mtbfP float64 // per-slot failure probability 1/MTBF
+	mttrP float64 // per-slot repair probability 1/MTTR
+	seed  uint64
+
+	permanentLinks int
+}
+
+// Compile resolves the schedule for a shape. The result replays the exact
+// same fault timeline on every run.
+func (s *Schedule) Compile(shape *torus.Shape) (*Compiled, error) {
+	if err := s.Validate(shape); err != nil {
+		return nil, err
+	}
+	if s == nil {
+		s = &Schedule{}
+	}
+	c := &Compiled{shape: shape, seed: s.Seed}
+	slots := shape.LinkSlots()
+	c.perm = make([]uint64, (slots+63)/64)
+	for _, l := range s.Links {
+		c.markPermanent(l)
+	}
+	for _, u := range s.Nodes {
+		c.failNode(u)
+	}
+	if s.RandomLinks > 0 {
+		c.failRandom(s.RandomLinks)
+	}
+	if s.MTBF > 0 && s.MTTR > 0 {
+		c.mtbfP = 1 / s.MTBF
+		c.mttrP = 1 / s.MTTR
+		c.trans = make([]transState, slots)
+		for l := range c.trans {
+			c.trans[l].rng = *rand.NewPCG(s.Seed^0xfa011fa011, uint64(l)*0x9e3779b97f4a7c15+1)
+			c.trans[l].up = true
+			c.trans[l].until = geometric(rand.New(&c.trans[l].rng), c.mtbfP)
+		}
+	}
+	return c, nil
+}
+
+func (c *Compiled) markPermanent(l torus.LinkID) {
+	if c.perm[uint(l)>>6]&(1<<(uint(l)&63)) == 0 {
+		c.perm[uint(l)>>6] |= 1 << (uint(l) & 63)
+		c.permanentLinks++
+	}
+}
+
+// failNode marks every link into and out of u as permanently failed.
+func (c *Compiled) failNode(u torus.Node) {
+	s := c.shape
+	for i := 0; i < s.Dims(); i++ {
+		dirs := []torus.Dir{torus.Plus}
+		if s.DirsInDim(i) == 2 {
+			dirs = append(dirs, torus.Minus)
+		}
+		for _, d := range dirs {
+			c.markPermanent(s.Link(u, i, d)) // outgoing
+			// The incoming link along (i, d) is owned by the neighbor in
+			// direction d and points back at u: its own d-opposite link for
+			// rings of length >= 3, its (only) Plus link on a 2-ring.
+			nb := s.Neighbor(u, i, d)
+			back := torus.Minus
+			if d == torus.Minus || s.DirsInDim(i) == 1 {
+				back = torus.Plus
+			}
+			c.markPermanent(s.Link(nb, i, back))
+		}
+	}
+}
+
+// failRandom marks n distinct uniformly chosen valid links as permanently
+// failed, on top of any already marked (those do not count toward n).
+func (c *Compiled) failRandom(n int) {
+	s := c.shape
+	alive := make([]torus.LinkID, 0, s.Links())
+	for l := 0; l < s.LinkSlots(); l++ {
+		id := torus.LinkID(l)
+		if s.ValidLink(id) && !c.Permanent(id) {
+			alive = append(alive, id)
+		}
+	}
+	if n > len(alive) {
+		n = len(alive)
+	}
+	rng := rand.New(rand.NewPCG(c.seed^0x5eed0f1a7, 0x7e57ab1e))
+	// Partial Fisher-Yates: the first n entries are a uniform sample.
+	for i := 0; i < n; i++ {
+		j := i + rng.IntN(len(alive)-i)
+		alive[i], alive[j] = alive[j], alive[i]
+		c.markPermanent(alive[i])
+	}
+}
+
+// PermanentLinks returns how many distinct links are permanently failed.
+func (c *Compiled) PermanentLinks() int { return c.permanentLinks }
+
+// Permanent reports whether link l is permanently failed.
+func (c *Compiled) Permanent(l torus.LinkID) bool {
+	return c.perm[uint(l)>>6]&(1<<(uint(l)&63)) != 0
+}
+
+// advance walks the transient timeline of link l forward until it covers
+// slot.
+func (c *Compiled) advance(t *transState, slot int64) {
+	rng := rand.New(&t.rng)
+	for t.until <= slot {
+		if t.up {
+			t.up = false
+			t.until += geometric(rng, c.mttrP)
+		} else {
+			t.up = true
+			t.until += geometric(rng, c.mtbfP)
+		}
+	}
+}
+
+// Down reports whether link l is failed during slot. Per link, slots must be
+// non-decreasing across calls.
+func (c *Compiled) Down(l torus.LinkID, slot int64) bool {
+	if c.Permanent(l) {
+		return true
+	}
+	if c.trans == nil {
+		return false
+	}
+	t := &c.trans[l]
+	c.advance(t, slot)
+	return !t.up
+}
+
+// DownUntil reports whether link l is failed during slot and, if so, the
+// first slot at which it is up again (-1 when the failure is permanent).
+// Per link, slots must be non-decreasing across calls.
+func (c *Compiled) DownUntil(l torus.LinkID, slot int64) (down bool, until int64) {
+	if c.Permanent(l) {
+		return true, -1
+	}
+	if c.trans == nil {
+		return false, 0
+	}
+	t := &c.trans[l]
+	c.advance(t, slot)
+	if t.up {
+		return false, 0
+	}
+	return true, t.until
+}
+
+// geometric draws a holding time with mean 1/p (p in (0, 1]) by inversion:
+// 1 + floor(ln(U) / ln(1-p)) with U uniform on (0, 1].
+func geometric(rng *rand.Rand, p float64) int64 {
+	if p >= 1 {
+		return 1
+	}
+	u := 1 - rng.Float64() // (0, 1]
+	d := int64(math.Log(u)/math.Log(1-p)) + 1
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Describe summarizes the compiled schedule for logs and manifests.
+func (c *Compiled) Describe() string {
+	var parts []string
+	if c.permanentLinks > 0 {
+		parts = append(parts, fmt.Sprintf("%d permanent link failures", c.permanentLinks))
+	}
+	if c.trans != nil {
+		parts = append(parts, fmt.Sprintf("transient MTBF %.0f / MTTR %.0f", 1/c.mtbfP, 1/c.mttrP))
+	}
+	if len(parts) == 0 {
+		return "no faults"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

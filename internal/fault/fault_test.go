@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prioritystar/internal/torus"
+)
+
+func TestEmpty(t *testing.T) {
+	var nilSched *Schedule
+	if !nilSched.Empty() {
+		t.Error("nil schedule should be empty")
+	}
+	if !(&Schedule{Seed: 9}).Empty() {
+		t.Error("seed-only schedule should be empty")
+	}
+	cases := []Schedule{
+		{Links: []torus.LinkID{3}},
+		{Nodes: []torus.Node{0}},
+		{RandomLinks: 1},
+		{MTBF: 100, MTTR: 10},
+	}
+	for i, s := range cases {
+		if s.Empty() {
+			t.Errorf("case %d: schedule %+v should not be empty", i, s)
+		}
+	}
+	// MTBF without MTTR does not enable transients (and fails validation).
+	if !(&Schedule{MTBF: 100}).Empty() {
+		t.Error("half-configured transient schedule should count as empty")
+	}
+}
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	cases := []struct {
+		sched Schedule
+		want  string
+	}{
+		{Schedule{Links: []torus.LinkID{-1}}, "not a valid link"},
+		{Schedule{Links: []torus.LinkID{torus.LinkID(s.LinkSlots())}}, "not a valid link"},
+		{Schedule{Nodes: []torus.Node{99}}, "not a node"},
+		{Schedule{RandomLinks: -2}, "negative RandomLinks"},
+		{Schedule{RandomLinks: s.Links() + 1}, "exceeds"},
+		{Schedule{MTBF: math.NaN(), MTTR: 5}, "finite"},
+		{Schedule{MTBF: math.Inf(1), MTTR: 5}, "finite"},
+		{Schedule{MTBF: -3, MTTR: 5}, "negative"},
+		{Schedule{MTBF: 100}, "both MTBF and MTTR"},
+		{Schedule{MTTR: 100}, "both MTBF and MTTR"},
+		{Schedule{MTBF: 0.5, MTTR: 5}, "below one slot"},
+	}
+	for i, c := range cases {
+		err := c.sched.Validate(s)
+		if err == nil {
+			t.Errorf("case %d: schedule %+v validated", i, c.sched)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, c.want)
+		}
+	}
+	if err := (&Schedule{}).Validate(nil); err == nil {
+		t.Error("nil shape should be rejected")
+	}
+}
+
+func TestPermanentLinksAndNodes(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	c, err := (&Schedule{Links: []torus.LinkID{s.Link(5, 0, torus.Plus)}, Nodes: []torus.Node{9}}).Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Permanent(s.Link(5, 0, torus.Plus)) {
+		t.Error("explicit link not failed")
+	}
+	// Every link into and out of node 9 must be down.
+	for i := 0; i < s.Dims(); i++ {
+		for _, d := range []torus.Dir{torus.Plus, torus.Minus} {
+			out := s.Link(9, i, d)
+			if !c.Permanent(out) {
+				t.Errorf("outgoing link %d of failed node not failed", out)
+			}
+		}
+	}
+	in := 0
+	for l := 0; l < s.LinkSlots(); l++ {
+		id := torus.LinkID(l)
+		if s.ValidLink(id) && s.LinkDst(id) == 9 && !c.Permanent(id) {
+			t.Errorf("incoming link %d of failed node not failed", id)
+		}
+		if s.ValidLink(id) && s.LinkDst(id) == 9 {
+			in++
+		}
+	}
+	if in != s.Degree() {
+		t.Fatalf("expected %d incoming links, found %d", s.Degree(), in)
+	}
+	down, until := c.DownUntil(s.Link(9, 0, torus.Plus), 100)
+	if !down || until != -1 {
+		t.Errorf("permanent link: DownUntil = (%t, %d), want (true, -1)", down, until)
+	}
+}
+
+// TestNodeFailureOnHypercube exercises the 2-ring special case: each
+// dimension has a single link per node and the incoming link is the
+// neighbor's Plus link.
+func TestNodeFailureOnHypercube(t *testing.T) {
+	s := torus.MustNew(2, 2, 2)
+	c, err := (&Schedule{Nodes: []torus.Node{3}}).Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Permanent(s.Link(3, i, torus.Plus)) {
+			t.Errorf("dim %d outgoing link survives", i)
+		}
+		nb := s.Neighbor(3, i, torus.Plus)
+		if !c.Permanent(s.Link(nb, i, torus.Plus)) {
+			t.Errorf("dim %d incoming link survives", i)
+		}
+	}
+	if c.PermanentLinks() != 6 {
+		t.Errorf("PermanentLinks = %d, want 6", c.PermanentLinks())
+	}
+}
+
+func TestRandomLinksDeterministicAndDistinct(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	sched := &Schedule{Seed: 11, RandomLinks: 7}
+	a, err := sched.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PermanentLinks() != 7 || b.PermanentLinks() != 7 {
+		t.Fatalf("want 7 failed links, got %d and %d", a.PermanentLinks(), b.PermanentLinks())
+	}
+	for l := 0; l < s.LinkSlots(); l++ {
+		id := torus.LinkID(l)
+		if a.Permanent(id) != b.Permanent(id) {
+			t.Fatalf("same seed chose different links (link %d)", id)
+		}
+		if a.Permanent(id) && !s.ValidLink(id) {
+			t.Fatalf("invalid link slot %d chosen", id)
+		}
+	}
+	other, err := (&Schedule{Seed: 12, RandomLinks: 7}).Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for l := 0; l < s.LinkSlots(); l++ {
+		if a.Permanent(torus.LinkID(l)) != other.Permanent(torus.LinkID(l)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds chose the same 7 links (suspicious)")
+	}
+}
+
+// TestTransientTimelineDeterministic verifies that the up/down timeline of a
+// link depends only on (seed, link), not on the query pattern: querying every
+// slot and querying sparsely must agree wherever both observe.
+func TestTransientTimelineDeterministic(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	sched := &Schedule{Seed: 7, MTBF: 40, MTTR: 8}
+	dense, err := sched.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := sched.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Link(2, 1, torus.Minus)
+	denseStates := make([]bool, 2000)
+	for slot := int64(0); slot < 2000; slot++ {
+		denseStates[slot] = dense.Down(l, slot)
+	}
+	for slot := int64(0); slot < 2000; slot += 37 {
+		if got := sparse.Down(l, slot); got != denseStates[slot] {
+			t.Fatalf("slot %d: sparse=%t dense=%t", slot, got, denseStates[slot])
+		}
+	}
+	// The link must actually transition at this MTBF/MTTR over 2000 slots.
+	downs := 0
+	for _, d := range denseStates {
+		if d {
+			downs++
+		}
+	}
+	if downs == 0 || downs == len(denseStates) {
+		t.Errorf("link never transitioned (down %d/2000 slots)", downs)
+	}
+}
+
+func TestDownUntilConsistent(t *testing.T) {
+	s := torus.MustNew(4, 4)
+	c, err := (&Schedule{Seed: 3, MTBF: 30, MTTR: 6}).Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := (&Schedule{Seed: 3, MTBF: 30, MTTR: 6}).Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Link(0, 0, torus.Plus)
+	for slot := int64(0); slot < 3000; slot++ {
+		down, until := c.DownUntil(l, slot)
+		if !down {
+			continue
+		}
+		if until <= slot {
+			t.Fatalf("slot %d: recovery slot %d not in the future", slot, until)
+		}
+		if probe.Down(l, until) {
+			t.Fatalf("slot %d: link still down at promised recovery slot %d", slot, until)
+		}
+		slot = until // probe may only move forward
+	}
+}
+
+func TestStringRoundsTrip(t *testing.T) {
+	sched := &Schedule{Seed: 5, RandomLinks: 3, Links: []torus.LinkID{2}, Nodes: []torus.Node{1}, MTBF: 100, MTTR: 10}
+	str := sched.String()
+	for _, want := range []string{"perm:3", "link:2", "node:1", "trans:100/10", "seed:5"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	if (&Schedule{}).String() != "" {
+		t.Error("empty schedule should render as empty string")
+	}
+}
+
+func TestCompileEmptySchedules(t *testing.T) {
+	s := torus.MustNew(2, 2)
+	var nilSched *Schedule
+	c, err := nilSched.Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Permanent(0) || c.Down(0, 5) {
+		t.Error("empty schedule reports faults")
+	}
+	if c.Describe() != "no faults" {
+		t.Errorf("Describe = %q", c.Describe())
+	}
+}

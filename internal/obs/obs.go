@@ -1,5 +1,5 @@
 // Package obs is the simulator's observability layer. The engine in
-// internal/sim accepts an optional Probe and invokes it at the five
+// internal/sim accepts an optional Probe and invokes it at the six
 // hot-path event sites:
 //
 //   - Enqueue: a packet joined a link's output queue;
@@ -7,7 +7,9 @@
 //   - Deliver: a packet finished crossing a link (a broadcast copy
 //     reaching a node, or a unicast hop/final delivery);
 //   - Spawn: a new broadcast or unicast task was generated;
-//   - SlotEnd: a simulated slot completed, with the total backlog.
+//   - SlotEnd: a simulated slot completed, with the total backlog;
+//   - Fault: a failed link blocked service or severed a broadcast
+//     subtree (only fires when a fault schedule is active).
 //
 // When no probe is attached the engine pays exactly one nil comparison per
 // site, and attaching a probe never changes the simulated trajectory: the
@@ -48,6 +50,12 @@ type Probe interface {
 	// SlotEnd fires at the end of every simulated slot with the number of
 	// packets queued across all links (excluding in-flight transmissions).
 	SlotEnd(slot int64, backlog int64)
+	// Fault fires when a failed link affects the run: a service attempt
+	// found the link down (lost == 0), or a broadcast copy would have
+	// crossed a permanently failed link and its subtree of lost deliveries
+	// was dropped (lost > 0). permanent distinguishes permanent failures
+	// from transient ones. Never fires on fault-free runs.
+	Fault(slot int64, link torus.LinkID, permanent bool, lost int64)
 }
 
 // Base is a Probe whose every method is a no-op. Embed it to implement only
@@ -68,6 +76,9 @@ func (Base) Spawn(int64, bool, bool) {}
 
 // SlotEnd implements Probe.
 func (Base) SlotEnd(int64, int64) {}
+
+// Fault implements Probe.
+func (Base) Fault(int64, torus.LinkID, bool, int64) {}
 
 // Multi fans every event out to a list of probes, in order.
 type Multi []Probe
@@ -107,6 +118,13 @@ func (m Multi) SlotEnd(slot int64, backlog int64) {
 	}
 }
 
+// Fault implements Probe.
+func (m Multi) Fault(slot int64, link torus.LinkID, permanent bool, lost int64) {
+	for _, p := range m {
+		p.Fault(slot, link, permanent, lost)
+	}
+}
+
 // Counters counts every event kind; the cheapest possible full-coverage
 // probe, used by overhead benchmarks and trace replay verification.
 type Counters struct {
@@ -120,6 +138,8 @@ type Counters struct {
 	Slots     int64 `json:"slots"`      // SlotEnd events
 	MaxDepth  int64 `json:"max_depth"`  // deepest single output queue seen at enqueue
 	MaxQueued int64 `json:"max_queued"` // largest end-of-slot backlog seen
+	Faults    int64 `json:"faults"`     // Fault events
+	LostCopies int64 `json:"lost_copies"` // broadcast deliveries severed by permanent faults
 }
 
 // Enqueue implements Probe.
@@ -158,6 +178,12 @@ func (c *Counters) SlotEnd(_ int64, backlog int64) {
 	if backlog > c.MaxQueued {
 		c.MaxQueued = backlog
 	}
+}
+
+// Fault implements Probe.
+func (c *Counters) Fault(_ int64, _ torus.LinkID, _ bool, lost int64) {
+	c.Faults++
+	c.LostCopies += lost
 }
 
 // LinkLoad accumulates per-link busy slots and per-dimension service counts
@@ -380,6 +406,11 @@ func (p *Standard) Spawn(slot int64, broadcast, measured bool) {
 func (p *Standard) SlotEnd(slot int64, backlog int64) {
 	p.Occ.SlotEnd(slot, backlog)
 	p.Count.SlotEnd(slot, backlog)
+}
+
+// Fault implements Probe.
+func (p *Standard) Fault(slot int64, link torus.LinkID, permanent bool, lost int64) {
+	p.Count.Fault(slot, link, permanent, lost)
 }
 
 // HistSummary condenses a LogHistogram for JSON reports.

@@ -36,6 +36,7 @@ const (
 	EvDeliver
 	EvSpawn
 	EvSlotEnd
+	EvFault
 )
 
 // String names the event type.
@@ -51,6 +52,8 @@ func (t EventType) String() string {
 		return "spawn"
 	case EvSlotEnd:
 		return "slot-end"
+	case EvFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -90,6 +93,10 @@ type Event struct {
 
 	// SlotEnd.
 	Backlog int64
+
+	// Fault (Link is shared with Enqueue/Service).
+	Permanent bool
+	Lost      int64
 }
 
 // TraceWriter is a Probe that streams every engine event to a binary trace.
@@ -200,6 +207,18 @@ func (t *TraceWriter) SlotEnd(slot int64, backlog int64) {
 	t.uvarint(uint64(backlog))
 }
 
+// Fault implements Probe.
+func (t *TraceWriter) Fault(slot int64, link torus.LinkID, permanent bool, lost int64) {
+	t.begin(EvFault, slot)
+	t.uvarint(uint64(link))
+	p := uint64(0)
+	if permanent {
+		p = 1
+	}
+	t.uvarint(p)
+	t.uvarint(uint64(lost))
+}
+
 // Events returns the number of records written so far.
 func (t *TraceWriter) Events() int64 { return t.events }
 
@@ -213,6 +232,12 @@ func (t *TraceWriter) Flush() error {
 
 // Err returns the first write error, if any.
 func (t *TraceWriter) Err() error { return t.err }
+
+// maxTraceDims bounds the dimension field of decoded records. Real tori
+// have a handful of dimensions; anything larger is corruption, and rejecting
+// it here keeps Summarize's per-dimension slice from ballooning on a
+// malformed trace.
+const maxTraceDims = 1 << 10
 
 // TraceReader decodes a trace file sequentially.
 type TraceReader struct {
@@ -284,6 +309,9 @@ func (t *TraceReader) Next() (Event, error) {
 	switch ev.Type {
 	case EvEnqueue:
 		if read(&a) && read(&b) && read(&c) && read(&d) {
+			if b >= maxTraceDims {
+				return Event{}, fmt.Errorf("obs: corrupt trace: dimension %d at slot %d", b, ev.Slot)
+			}
 			ev.Link = torus.LinkID(a)
 			ev.Dim = int(b)
 			ev.Class = int(c)
@@ -291,6 +319,9 @@ func (t *TraceReader) Next() (Event, error) {
 		}
 	case EvService:
 		if read(&a) && read(&b) && read(&c) && read(&d) && read(&e) {
+			if b >= maxTraceDims {
+				return Event{}, fmt.Errorf("obs: corrupt trace: dimension %d at slot %d", b, ev.Slot)
+			}
 			ev.Link = torus.LinkID(a)
 			ev.Dim = int(b)
 			ev.Class = int(c)
@@ -313,6 +344,12 @@ func (t *TraceReader) Next() (Event, error) {
 		if read(&a) {
 			ev.Backlog = int64(a)
 		}
+	case EvFault:
+		if read(&a) && read(&b) && read(&c) {
+			ev.Link = torus.LinkID(a)
+			ev.Permanent = b != 0
+			ev.Lost = int64(c)
+		}
 	default:
 		return Event{}, fmt.Errorf("obs: unknown trace opcode %d at slot %d", op, ev.Slot)
 	}
@@ -333,6 +370,8 @@ type TraceSummary struct {
 	Broadcasts  int64   `json:"broadcasts"`
 	Spawns      int64   `json:"spawns"`
 	Slots       int64   `json:"slots"`
+	Faults      int64   `json:"faults"`
+	LostCopies  int64   `json:"lost_copies"`
 	LastSlot    int64   `json:"last_slot"`
 	MaxBacklog  int64   `json:"max_backlog"`
 	DimServices []int64 `json:"dim_services"`
@@ -376,6 +415,9 @@ func Summarize(r *TraceReader) (TraceSummary, error) {
 			if ev.Backlog > s.MaxBacklog {
 				s.MaxBacklog = ev.Backlog
 			}
+		case EvFault:
+			s.Faults++
+			s.LostCopies += ev.Lost
 		}
 	}
 }

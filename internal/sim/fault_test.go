@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"prioritystar/internal/core"
+	"prioritystar/internal/fault"
+	"prioritystar/internal/obs"
+	"prioritystar/internal/torus"
+)
+
+// TestNodeFailureLossAccounting fails one node and checks the broadcast
+// bookkeeping closes exactly: every one of the size-1 copies of each
+// measured task is either delivered or counted in LostCopies, tasks complete
+// as degraded, and reachability reflects the loss.
+func TestNodeFailureLossAccounting(t *testing.T) {
+	cfg := detCase(t, []int{4, 4}, 0.3, 1, core.TwoLevel, 1, 21)
+	cfg.Drain = 2000 // every surviving copy must land before the horizon
+	cfg.Faults = &fault.Schedule{Nodes: []torus.Node{5}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostCopies == 0 {
+		t.Fatal("node failure lost no broadcast copies")
+	}
+	total := res.GeneratedBroadcasts * int64(cfg.Shape.Size()-1)
+	if got := res.Reception.Count() + res.LostCopies; got != total {
+		t.Errorf("delivered %d + lost %d = %d copies, want %d",
+			res.Reception.Count(), res.LostCopies, got, total)
+	}
+	if res.IncompleteBroadcasts != 0 {
+		t.Errorf("%d tasks still open: lost subtrees not credited to remaining", res.IncompleteBroadcasts)
+	}
+	if res.DegradedTasks != res.GeneratedBroadcasts {
+		t.Errorf("DegradedTasks = %d, want %d (the failed node can never receive)",
+			res.DegradedTasks, res.GeneratedBroadcasts)
+	}
+	if res.Broadcast.Count() != 0 {
+		t.Errorf("%d degraded tasks recorded a broadcast delay", res.Broadcast.Count())
+	}
+	if n := res.Reachability.Count(); n != res.GeneratedBroadcasts {
+		t.Errorf("Reachability has %d samples, want %d", n, res.GeneratedBroadcasts)
+	}
+	if m := res.Reachability.Mean(); !(m > 0 && m < 1) {
+		t.Errorf("Reachability mean = %v, want in (0, 1)", m)
+	}
+}
+
+// TestSingleBroadcastSubtreeLoss checks the closed-form subtree size on a
+// single impulse broadcast: reachable + lost must cover all 15 other nodes
+// of a 4x4 torus with a failed node.
+func TestSingleBroadcastSubtreeLoss(t *testing.T) {
+	cfg := detCase(t, []int{4, 4}, 0, 1, core.TwoLevel, 1, 3)
+	cfg.SingleBroadcast = true
+	cfg.Warmup, cfg.Measure, cfg.Drain = 0, 10, 500
+	cfg.Faults = &fault.Schedule{Nodes: []torus.Node{10}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Reception.Count() + res.LostCopies; got != 15 {
+		t.Errorf("delivered %d + lost %d = %d, want 15", res.Reception.Count(), res.LostCopies, got)
+	}
+	if res.LostCopies < 1 {
+		t.Errorf("LostCopies = %d, want >= 1 (the failed node itself)", res.LostCopies)
+	}
+}
+
+// TestUnicastAdaptiveReroute kills one link under unicast-only traffic and
+// checks the minimal-adaptive fallback still delivers: with two profitable
+// dimensions most packets route around the dead link, so the completion rate
+// stays close to the fault-free run instead of collapsing.
+func TestUnicastAdaptiveReroute(t *testing.T) {
+	base := detCase(t, []int{4, 4}, 0.4, 0, core.TwoLevel, 1, 31)
+	base.Drain = 2000
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.IncompleteUnicasts != 0 {
+		t.Fatalf("fault-free run left %d unicasts undelivered", clean.IncompleteUnicasts)
+	}
+
+	s := base.Shape
+	faulted := base
+	faulted.Faults = &fault.Schedule{Links: []torus.LinkID{s.Link(0, 0, torus.Plus)}}
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unicast.Count() == 0 {
+		t.Fatal("no unicasts delivered at all under a single link failure")
+	}
+	// Only packets whose sole remaining profitable hop is the dead link
+	// wait forever; everything else reroutes.
+	undelivered := float64(res.IncompleteUnicasts)
+	if undelivered > 0.1*float64(res.GeneratedUnicasts) {
+		t.Errorf("%d of %d unicasts undelivered; adaptive rerouting not working",
+			res.IncompleteUnicasts, res.GeneratedUnicasts)
+	}
+	if res.Unicast.Count()+res.IncompleteUnicasts != res.GeneratedUnicasts {
+		t.Errorf("unicast accounting leak: %d delivered + %d incomplete != %d generated",
+			res.Unicast.Count(), res.IncompleteUnicasts, res.GeneratedUnicasts)
+	}
+}
+
+// TestTransientFaultsDelayButDeliver runs with transient faults only: no
+// copy may be dropped (transient outages delay, never sever), every task
+// must finish given a long drain, and delays must exceed the fault-free run.
+func TestTransientFaultsDelayButDeliver(t *testing.T) {
+	base := detCase(t, []int{4, 4}, 0.3, 0.5, core.TwoLevel, 1, 41)
+	base.Drain = 4000
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := base
+	faulted.Faults = &fault.Schedule{Seed: 7, MTBF: 200, MTTR: 20}
+	res, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostCopies != 0 || res.DegradedTasks != 0 {
+		t.Errorf("transient faults lost %d copies, degraded %d tasks; want none",
+			res.LostCopies, res.DegradedTasks)
+	}
+	if res.IncompleteBroadcasts != 0 || res.IncompleteUnicasts != 0 {
+		t.Errorf("transient run left %d broadcasts and %d unicasts unfinished",
+			res.IncompleteBroadcasts, res.IncompleteUnicasts)
+	}
+	if res.Reception.Mean() <= clean.Reception.Mean() {
+		t.Errorf("transient faults did not increase reception delay: %v <= %v",
+			res.Reception.Mean(), clean.Reception.Mean())
+	}
+	if m := res.Reachability.Mean(); m != 1 {
+		t.Errorf("Reachability mean = %v, want exactly 1", m)
+	}
+}
+
+// TestFaultedRunsDeterministic: same config, same faults, same trajectory.
+func TestFaultedRunsDeterministic(t *testing.T) {
+	cfg := detCase(t, []int{4, 5}, 0.4, 0.5, core.ThreeLevel, 1, 51)
+	cfg.Faults = &fault.Schedule{Seed: 5, RandomLinks: 2, MTBF: 300, MTTR: 30}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical faulted configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultProbeObservesWithoutPerturbing attaches counters to a faulted run
+// and checks (a) fault events are observed with lost-copy totals matching
+// the Result, and (b) the probe does not change the trajectory.
+func TestFaultProbeObservesWithoutPerturbing(t *testing.T) {
+	cfg := detCase(t, []int{4, 4}, 0.3, 1, core.TwoLevel, 1, 61)
+	cfg.Drain = 2000
+	cfg.Faults = &fault.Schedule{Nodes: []torus.Node{3}, Seed: 2, MTBF: 250, MTTR: 25}
+	bare, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probed := cfg
+	counters := &obs.Counters{}
+	probed.Probe = counters
+	res, err := Run(probed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counters.Faults == 0 {
+		t.Error("probe saw no fault events on a faulted run")
+	}
+	if counters.LostCopies < res.LostCopies {
+		t.Errorf("probe saw %d lost copies, result reports %d (probe also sees unmeasured drops)",
+			counters.LostCopies, res.LostCopies)
+	}
+	if goldenFingerprint(bare) != goldenFingerprint(res) {
+		t.Errorf("attaching a probe changed a faulted run:\n%s\n%s",
+			goldenFingerprint(bare), goldenFingerprint(res))
+	}
+}
+
+// TestWatchdogDiverged drives the scheme at rho = 1.2: the watchdog must cut
+// the run short with StatusDiverged long before the 200k-slot horizon, and
+// Stable must report false.
+func TestWatchdogDiverged(t *testing.T) {
+	cfg := detCase(t, []int{8, 8}, 1.2, 1, core.TwoLevel, 1, 71)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 0, 200_000, 0
+	cfg.Guard = DefaultGuard(cfg.Shape)
+	start := time.Now()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusDiverged {
+		t.Fatalf("status = %v, want diverged (backlog end %d)", res.Status, res.BacklogEnd)
+	}
+	if res.Truncated {
+		t.Error("watchdog termination must not masquerade as MaxBacklog truncation")
+	}
+	if res.Stable(cfg.Shape) {
+		t.Error("diverged run reports Stable() == true")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("watchdog took %v to fire; should terminate in seconds", elapsed)
+	}
+}
+
+// TestWatchdogSilentOnStableRun arms the watchdog at a moderate load and
+// checks it never fires.
+func TestWatchdogSilentOnStableRun(t *testing.T) {
+	cfg := detCase(t, []int{8, 8}, 0.7, 1, core.TwoLevel, 1, 72)
+	cfg.Guard = DefaultGuard(cfg.Shape)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOK {
+		t.Errorf("stable run ended with status %v", res.Status)
+	}
+	if !res.Stable(cfg.Shape) {
+		t.Error("stable run reports Stable() == false")
+	}
+}
+
+// TestGrowthWatchdogWithoutBacklogBound exercises the sustained-growth check
+// alone (no absolute bound) at an unstable load.
+func TestGrowthWatchdogWithoutBacklogBound(t *testing.T) {
+	cfg := detCase(t, []int{8, 8}, 1.3, 1, core.TwoLevel, 1, 73)
+	cfg.Warmup, cfg.Measure, cfg.Drain = 0, 200_000, 0
+	cfg.Guard = Guard{GrowthWindow: 200}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusDiverged {
+		t.Errorf("status = %v, want diverged via sustained growth", res.Status)
+	}
+}
+
+// TestRunTimeout bounds the wall clock so tightly the run cannot finish.
+func TestRunTimeout(t *testing.T) {
+	cfg := detCase(t, []int{8, 8}, 0.9, 1, core.TwoLevel, 1, 81)
+	cfg.Measure = 50_000_000 // far more work than a nanosecond allows
+	cfg.Guard.Timeout = time.Nanosecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusTimeout {
+		t.Errorf("status = %v, want timeout", res.Status)
+	}
+	if res.Stable(cfg.Shape) {
+		t.Error("timed-out run reports Stable() == true")
+	}
+}
+
+// TestContextCancellation: a cancelled context aborts the run with its error.
+func TestContextCancellation(t *testing.T) {
+	cfg := detCase(t, []int{8, 8}, 0.9, 1, core.TwoLevel, 1, 82)
+	cfg.Measure = 50_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Context = ctx
+	res, err := Run(cfg)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a result")
+	}
+}
+
+// TestRunnerReuseAfterFaultedRun interleaves faulted, guarded, and plain
+// runs on one Runner and checks the plain run still matches a fresh one.
+func TestRunnerReuseAfterFaultedRun(t *testing.T) {
+	var r Runner
+	faulted := detCase(t, []int{4, 4}, 0.4, 0.5, core.TwoLevel, 1, 91)
+	faulted.Faults = &fault.Schedule{Seed: 1, RandomLinks: 3, MTBF: 100, MTTR: 10}
+	if _, err := r.Run(faulted); err != nil {
+		t.Fatal(err)
+	}
+	diverging := detCase(t, []int{4, 4}, 1.3, 1, core.TwoLevel, 1, 92)
+	diverging.Guard = DefaultGuard(diverging.Shape)
+	if res, err := r.Run(diverging); err != nil || res.Status != StatusDiverged {
+		t.Fatalf("diverging run: res.Status=%v err=%v", res.Status, err)
+	}
+	plain := detCase(t, []int{4, 4}, 0.5, 0.5, core.TwoLevel, 1, 93)
+	reused, err := r.Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenFingerprint(reused) != goldenFingerprint(fresh) {
+		t.Errorf("runner state leaked from faulted into plain run:\n%s\n%s",
+			goldenFingerprint(reused), goldenFingerprint(fresh))
+	}
+}
+
+// TestValidateRejections covers the hardened Config.Validate error paths.
+func TestValidateRejections(t *testing.T) {
+	good := detCase(t, []int{4, 4}, 0.5, 0.5, core.TwoLevel, 1, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"nan lambda", func(c *Config) { c.Rates.LambdaB = nan() }, "finite"},
+		{"inf lambda", func(c *Config) { c.Rates.LambdaR = inf() }, "finite"},
+		{"negative lambda", func(c *Config) { c.Rates.LambdaR = -1 }, "negative arrival"},
+		{"zero-dim shape", func(c *Config) { c.Shape = &torus.Shape{} }, "no dimensions"},
+		{"zero measure", func(c *Config) { c.Measure = 0 }, "Measure must be positive"},
+		{"negative warmup", func(c *Config) { c.Warmup = -1 }, "negative Warmup"},
+		{"negative guard", func(c *Config) { c.Guard.DivergeBacklog = -5 }, "Guard"},
+		{"bad faults", func(c *Config) { c.Faults = &fault.Schedule{RandomLinks: -1} }, "RandomLinks"},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mutate(&cfg)
+		_, err := Run(cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

@@ -31,12 +31,16 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand/v2"
 	"sync"
+	"time"
 
 	"prioritystar/internal/core"
+	"prioritystar/internal/fault"
 	"prioritystar/internal/obs"
 	"prioritystar/internal/queue"
 	"prioritystar/internal/stats"
@@ -70,6 +74,25 @@ type Config struct {
 	// (rho beyond the scheme's maximum throughput). 0 means the default of
 	// 4 million packets.
 	MaxBacklog int64
+
+	// Faults injects link and node failures from a deterministic schedule
+	// (see internal/fault). nil or an empty schedule leaves the engine on
+	// its fault-free path, bit-identical to an engine without fault
+	// support. With faults active, unicast packets route minimally-adaptively
+	// around failed profitable links (waiting when no live alternative
+	// exists) and broadcast copies that would cross a permanently failed
+	// link are dropped with their whole subtree, recorded in
+	// Result.LostCopies and Result.Reachability.
+	Faults *fault.Schedule
+
+	// Guard configures the runtime guards: the divergence watchdog and the
+	// wall-clock timeout. The zero value disables both and leaves the
+	// trajectory untouched.
+	Guard Guard
+
+	// Context, when non-nil, is polled every 1024 slots; once it is
+	// cancelled the run stops and Run returns the context's error.
+	Context context.Context
 
 	// OnDeliver, when non-nil, is invoked for every packet arrival: each
 	// broadcast copy received by a node and each unicast hop (Final marks
@@ -113,14 +136,95 @@ type DeliverEvent struct {
 	Final bool
 }
 
+// Guard bundles the runtime guards of one run. The zero value disables every
+// guard; an enabled guard never perturbs the trajectory of a run it does not
+// terminate (guards read engine state but never touch the RNG).
+type Guard struct {
+	// DivergeBacklog terminates the run with StatusDiverged as soon as the
+	// total backlog exceeds it. 0 disables the bound. Unlike
+	// Config.MaxBacklog (an emergency brake yielding StatusTruncated),
+	// this is the watchdog's deliberate "this point has left its stable
+	// region" signal.
+	DivergeBacklog int64
+
+	// GrowthWindow enables the sustained-growth watchdog: every
+	// GrowthWindow slots the total backlog is sampled, and when GrowthRuns
+	// consecutive samples each exceed their predecessor by more than
+	// GrowthSlack packets the run terminates with StatusDiverged. A run at
+	// rho >= 1 adds Theta(deficit x links) packets per slot, so it trips
+	// the watchdog within GrowthRuns windows instead of burning the whole
+	// horizon; a stable run's backlog fluctuates around its mean and keeps
+	// resetting the streak. 0 disables the check.
+	GrowthWindow int64
+	// GrowthRuns is the consecutive-growth streak length that declares
+	// divergence. 0 means the default of 4.
+	GrowthRuns int
+	// GrowthSlack is the minimum per-window backlog increase that counts
+	// as growth. 0 means the default of max(64, links/8).
+	GrowthSlack int64
+
+	// Timeout bounds the run's wall-clock time; when exceeded (polled
+	// every 1024 slots) the run stops with StatusTimeout. 0 disables it.
+	Timeout time.Duration
+}
+
+// active reports whether any watchdog check is enabled.
+func (g *Guard) active() bool { return g.DivergeBacklog > 0 || g.GrowthWindow > 0 }
+
+// DefaultGuard returns a divergence watchdog tuned for shape s: a backlog
+// bound of 64 packets per link and a sustained-growth check every 250 slots.
+func DefaultGuard(s *torus.Shape) Guard {
+	return Guard{DivergeBacklog: int64(s.Links()) * 64, GrowthWindow: 250}
+}
+
+// Status classifies how a run ended.
+type Status uint8
+
+// Run statuses.
+const (
+	// StatusOK: the run completed its full horizon.
+	StatusOK Status = iota
+	// StatusTruncated: the backlog exceeded Config.MaxBacklog.
+	StatusTruncated
+	// StatusDiverged: the divergence watchdog (Config.Guard) fired.
+	StatusDiverged
+	// StatusTimeout: the wall-clock timeout (Config.Guard.Timeout) expired.
+	StatusTimeout
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusTruncated:
+		return "truncated"
+	case StatusDiverged:
+		return "diverged"
+	case StatusTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
 func (c *Config) totalSlots() int64 { return c.Warmup + c.Measure + c.Drain }
 
-func (c *Config) validate() error {
+// Validate checks the configuration without running it. Run and Runner.Run
+// call it first and surface its error verbatim.
+func (c *Config) Validate() error {
 	if c.Shape == nil || c.Scheme == nil {
 		return fmt.Errorf("sim: nil shape or scheme")
 	}
+	if c.Shape.Dims() == 0 || c.Shape.Size() == 0 {
+		return fmt.Errorf("sim: shape has no dimensions (construct shapes with torus.New)")
+	}
 	if c.Scheme.Shape != c.Shape {
 		return fmt.Errorf("sim: scheme was built for %v, config uses %v", c.Scheme.Shape, c.Shape)
+	}
+	if math.IsNaN(c.Rates.LambdaB) || math.IsInf(c.Rates.LambdaB, 0) ||
+		math.IsNaN(c.Rates.LambdaR) || math.IsInf(c.Rates.LambdaR, 0) {
+		return fmt.Errorf("sim: arrival rates must be finite, got %+v", c.Rates)
 	}
 	if c.Rates.LambdaB < 0 || c.Rates.LambdaR < 0 {
 		return fmt.Errorf("sim: negative arrival rates %+v", c.Rates)
@@ -130,6 +234,13 @@ func (c *Config) validate() error {
 	}
 	if c.Warmup < 0 || c.Drain < 0 {
 		return fmt.Errorf("sim: negative Warmup or Drain")
+	}
+	if g := &c.Guard; g.DivergeBacklog < 0 || g.GrowthWindow < 0 || g.GrowthRuns < 0 ||
+		g.GrowthSlack < 0 || g.Timeout < 0 {
+		return fmt.Errorf("sim: negative Guard field %+v", *g)
+	}
+	if err := c.Faults.Validate(c.Shape); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -174,10 +285,32 @@ type Result struct {
 
 	// Truncated is true when the run was aborted by Config.MaxBacklog
 	// (unstable operating point); delay statistics are then meaningless.
+	// Status carries the same information with more detail.
 	Truncated bool
 	// ClampedLengths counts packets whose sampled service time exceeded
 	// the timing wheel and was clamped.
 	ClampedLengths int64
+
+	// Status records how the run ended: StatusOK (full horizon),
+	// StatusTruncated (Config.MaxBacklog tripped), StatusDiverged (the
+	// watchdog in Config.Guard fired), or StatusTimeout (the wall-clock
+	// bound expired). Delay statistics of non-OK runs cover only the
+	// slots actually simulated.
+	Status Status
+
+	// LostCopies counts measured broadcast deliveries lost because a copy
+	// (with its whole subtree) would have crossed a permanently failed
+	// link. Zero unless Config.Faults injects permanent failures.
+	LostCopies int64
+	// DegradedTasks counts measured broadcast tasks that completed with at
+	// least one lost copy; such tasks contribute to Reachability but not
+	// to Broadcast (their last node never receives a copy).
+	DegradedTasks int64
+	// Reachability aggregates, per measured broadcast task completed under
+	// an active fault schedule, the fraction of the other nodes that
+	// received a copy (1.0 when nothing was lost). Empty for fault-free
+	// runs.
+	Reachability stats.Welford
 }
 
 // packetKind discriminates broadcast copies from unicast packets.
@@ -215,6 +348,7 @@ type packet struct {
 type bcastState struct {
 	birth     int64
 	remaining int32
+	lost      int32 // copies lost to permanently failed links
 }
 
 type engine struct {
@@ -264,6 +398,25 @@ type engine struct {
 	// last quarters of the measurement window.
 	firstQSum, lastQSum     float64
 	firstQCount, lastQCount int64
+
+	// Fault state. faults is nil for fault-free runs, keeping the hot
+	// path at one nil check per site; fwheel parallels wheel and carries
+	// recovery wake-ups for links found transiently down.
+	faults   *fault.Compiled
+	fwheel   [][]torus.LinkID
+	adaptCur torus.Node // current node for the downFn closure
+	downFn   func(dim int, dir torus.Dir) bool
+
+	// Guard state, resolved from cfg.Guard by reset.
+	guardOn      bool
+	growthRuns   int
+	growthSlack  int64
+	growthStreak int
+	lastSample   int64
+	nextGrowthAt int64
+	ctx          context.Context
+	deadline     time.Time
+	checkWall    bool // poll ctx/deadline every 1024 slots
 }
 
 // Runner executes simulations while reusing the engine's internal buffers
@@ -280,12 +433,16 @@ type Runner struct {
 // to the package-level Run but recycles internal buffers from previous
 // calls; results are identical for identical Configs.
 func (r *Runner) Run(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	e := &r.e
-	e.reset(cfg)
-	e.run()
+	if err := e.reset(cfg); err != nil {
+		return nil, err
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
 	e.finish()
 	return e.res, nil
 }
@@ -318,11 +475,15 @@ func (e *engine) release() {
 	e.probe = nil
 	e.linkDst = nil
 	e.linkDim = nil
+	e.faults = nil
+	e.downFn = nil
+	e.ctx = nil
 }
 
 // reset prepares the engine for cfg, reusing buffers from any previous run
-// when the link-slot count and class count match.
-func (e *engine) reset(cfg Config) {
+// when the link-slot count and class count match. It fails only when the
+// fault schedule does not compile against the shape.
+func (e *engine) reset(cfg Config) error {
 	slots := cfg.Shape.LinkSlots()
 	classes := cfg.Scheme.Discipline.Classes()
 
@@ -380,16 +541,88 @@ func (e *engine) reset(cfg Config) {
 	e.tasks = e.tasks[:0]
 	e.freeTasks = e.freeTasks[:0]
 	e.nextTask = 0
+
+	// Fault schedule: compiled only when non-empty, so fault-free runs
+	// keep e.faults == nil and stay on the historical hot path.
+	e.faults = nil
+	e.downFn = nil
+	if e.fwheel != nil {
+		for i := range e.fwheel {
+			e.fwheel[i] = e.fwheel[i][:0]
+		}
+	}
+	if !cfg.Faults.Empty() {
+		fc, err := cfg.Faults.Compile(cfg.Shape)
+		if err != nil {
+			return err
+		}
+		e.faults = fc
+		e.downFn = e.adaptDown
+		if e.fwheel == nil {
+			e.fwheel = make([][]torus.LinkID, wheelSize)
+		}
+	}
+
+	// Guards.
+	g := cfg.Guard
+	e.guardOn = g.active()
+	e.growthRuns = g.GrowthRuns
+	if e.growthRuns == 0 {
+		e.growthRuns = 4
+	}
+	e.growthSlack = g.GrowthSlack
+	if e.growthSlack == 0 {
+		e.growthSlack = int64(e.s.Links() / 8)
+		if e.growthSlack < 64 {
+			e.growthSlack = 64
+		}
+	}
+	e.growthStreak = 0
+	e.lastSample = 0
+	e.nextGrowthAt = g.GrowthWindow
+	e.ctx = cfg.Context
+	e.deadline = time.Time{}
+	if g.Timeout > 0 {
+		e.deadline = time.Now().Add(g.Timeout)
+	}
+	e.checkWall = e.ctx != nil || g.Timeout > 0
+	return nil
 }
 
-// run is the slot loop. Each slot: deliver completed transmissions,
-// inject new tasks, then start transmissions on the links marked ready.
-func (e *engine) run() {
+// adaptDown reports whether the outgoing link of e.adaptCur along (dim, dir)
+// is currently failed. It is bound once per run (e.downFn) so the adaptive
+// unicast path does not allocate a closure per delivery.
+func (e *engine) adaptDown(dim int, dir torus.Dir) bool {
+	return e.faults.Down(e.s.Link(e.adaptCur, dim, dir), e.now)
+}
+
+// run is the slot loop. Each slot: deliver completed transmissions, wake
+// links whose transient fault healed, inject new tasks, then start
+// transmissions on the links marked ready. It returns a non-nil error only
+// when Config.Context is cancelled; every other early exit is reported
+// through Result.Status.
+func (e *engine) run() error {
 	for e.now = 0; e.now < e.horizon; e.now++ {
+		if e.checkWall && e.now&1023 == 0 {
+			if e.ctx != nil {
+				select {
+				case <-e.ctx.Done():
+					return e.ctx.Err()
+				default:
+				}
+			}
+			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+				e.res.Status = StatusTimeout
+				return nil
+			}
+		}
 		if e.now == e.wStart {
 			e.res.BacklogStart = e.backlog
 		}
 		e.deliverArrivals()
+		if e.faults != nil {
+			e.processRecoveries()
+		}
 		e.generate()
 		e.serviceReady()
 		if e.probe != nil {
@@ -414,9 +647,73 @@ func (e *engine) run() {
 		}
 		if e.backlog > e.maxBack {
 			e.res.Truncated = true
-			break
+			e.res.Status = StatusTruncated
+			return nil
+		}
+		if e.guardOn && e.diverged() {
+			e.res.Status = StatusDiverged
+			return nil
 		}
 	}
+	return nil
+}
+
+// diverged runs the watchdog checks for the slot that just finished. It only
+// reads engine state, so an enabled watchdog never perturbs the trajectory
+// of a run it does not terminate.
+func (e *engine) diverged() bool {
+	g := &e.cfg.Guard
+	if g.DivergeBacklog > 0 && e.backlog > g.DivergeBacklog {
+		return true
+	}
+	if g.GrowthWindow > 0 && e.now == e.nextGrowthAt {
+		if e.backlog > e.lastSample+e.growthSlack {
+			e.growthStreak++
+		} else {
+			e.growthStreak = 0
+		}
+		e.lastSample = e.backlog
+		e.nextGrowthAt += g.GrowthWindow
+		if e.growthStreak >= e.growthRuns {
+			return true
+		}
+	}
+	return false
+}
+
+// processRecoveries wakes the links whose transient fault was promised to
+// heal this slot. A link still down (its wake-up was clamped to the wheel
+// span) is rescheduled; a healed link is marked ready so serviceReady
+// examines its queue this very slot.
+func (e *engine) processRecoveries() {
+	entries := e.fwheel[e.now&wheelMask]
+	if len(entries) == 0 {
+		return
+	}
+	e.fwheel[e.now&wheelMask] = entries[:0]
+	// scheduleRecovery never targets the current wheel index (recovery
+	// slots lie in (now, now+wheelSize)), so the append below cannot write
+	// into the slice being ranged over.
+	for _, l := range entries {
+		if down, until := e.faults.DownUntil(l, e.now); down {
+			if until >= 0 {
+				e.scheduleRecovery(l, until)
+			}
+			continue
+		}
+		e.markReady(l)
+	}
+}
+
+// scheduleRecovery enqueues a wake-up for link l at the given recovery slot,
+// clamping it to the timing-wheel span (the wake-up then re-checks and
+// reschedules).
+func (e *engine) scheduleRecovery(l torus.LinkID, until int64) {
+	if until > e.now+wheelMask {
+		until = e.now + wheelMask
+	}
+	at := until & wheelMask
+	e.fwheel[at] = append(e.fwheel[at], l)
 }
 
 // linkBitmap is a two-level bitmap over the link-slot index space: one bit
@@ -520,7 +817,25 @@ func (e *engine) deliverUnicast(node torus.Node, pkt *packet) {
 		}
 		return
 	}
-	dim, dir, _ := core.UnicastNextHop(e.s, node, pkt.dest, pkt.tieMask)
+	e.routeUnicast(node, pkt)
+}
+
+// routeUnicast enqueues pkt on its next hop out of node. Fault-free runs use
+// the deterministic-oblivious shortest path; with faults active the packet
+// routes minimally adaptively: any live profitable link is taken (preferring
+// the oblivious choice), and when every profitable link is down the packet
+// waits on the preferred one.
+func (e *engine) routeUnicast(node torus.Node, pkt *packet) {
+	if e.faults == nil {
+		dim, dir, _ := core.UnicastNextHop(e.s, node, pkt.dest, pkt.tieMask)
+		e.enqueue(node, dim, dir, pkt)
+		return
+	}
+	e.adaptCur = node
+	dim, dir, _, done := core.UnicastNextHopAdaptive(e.s, node, pkt.dest, pkt.tieMask, e.downFn)
+	if done {
+		return
+	}
 	e.enqueue(node, dim, dir, pkt)
 }
 
@@ -539,13 +854,58 @@ func (e *engine) deliverBroadcast(node torus.Node, pkt *packet) {
 		st := &e.tasks[pkt.taskIdx]
 		st.remaining--
 		if st.remaining == 0 {
-			e.res.Broadcast.Add(float64(e.now - st.birth))
-			e.freeTasks = append(e.freeTasks, pkt.taskIdx)
-			e.liveTasks--
+			e.finishTask(pkt.taskIdx)
 		}
 	}
 	e.hopBuf = core.BroadcastForward(e.s, int(pkt.ending), int(pkt.phase), pkt.dir, int(pkt.hopsLeft), e.rng, e.hopBuf[:0])
 	e.forwardHops(node, pkt)
+}
+
+// finishTask closes the dense state slot of a measured broadcast task whose
+// outstanding copies have all been delivered or lost. Fully delivered tasks
+// record the broadcast delay as always; degraded tasks (lost > 0) are
+// counted separately because their "last node" never receives a copy. Under
+// an active fault schedule every completed task also records the fraction of
+// nodes it reached.
+func (e *engine) finishTask(idx int32) {
+	st := &e.tasks[idx]
+	if st.lost == 0 {
+		e.res.Broadcast.Add(float64(e.now - st.birth))
+	} else {
+		e.res.DegradedTasks++
+	}
+	if e.faults != nil {
+		total := float64(e.s.Size() - 1)
+		e.res.Reachability.Add((total - float64(st.lost)) / total)
+	}
+	e.freeTasks = append(e.freeTasks, idx)
+	e.liveTasks--
+}
+
+// dropSubtree accounts for a broadcast copy that would cross the permanently
+// failed link l: the copy and every descendant it would have spawned are
+// lost. The copy covers hopsLeft+1 nodes along its own ring, each of which
+// would have seeded subtrees spanning all later phases of the task's
+// dimension order.
+func (e *engine) dropSubtree(l torus.LinkID, pkt *packet) {
+	lost := int64(pkt.hopsLeft) + 1
+	d := e.s.Dims()
+	for q := int(pkt.phase) + 1; q < d; q++ {
+		lost *= int64(e.s.Dim(core.OrderDim(d, int(pkt.ending), q)))
+	}
+	if e.probe != nil {
+		e.probe.Fault(e.now, l, true, lost)
+	}
+	if !pkt.measured {
+		return
+	}
+	e.res.LostCopies += lost
+	st := &e.tasks[pkt.taskIdx]
+	st.lost += int32(lost)
+	st.remaining -= int32(lost)
+	if st.remaining == 0 {
+		e.finishTask(pkt.taskIdx)
+	}
 }
 
 // forwardHops enqueues the hops currently in hopBuf on behalf of pkt.
@@ -562,6 +922,13 @@ func (e *engine) forwardHops(node torus.Node, pkt *packet) {
 
 func (e *engine) enqueue(node torus.Node, dim int, dir torus.Dir, pkt *packet) {
 	l := e.s.Link(node, dim, dir)
+	if e.faults != nil && pkt.kind == kindBroadcast && e.faults.Permanent(l) {
+		// A broadcast copy follows a fixed tree; a permanently dead edge
+		// severs its whole subtree. Transient faults merely delay: the
+		// copy queues and waits for the link to heal.
+		e.dropSubtree(l, pkt)
+		return
+	}
 	slot := e.queues[l].PushSlot(int(pkt.class))
 	*slot = *pkt
 	slot.enq = e.now
@@ -671,8 +1038,7 @@ func (e *engine) spawnUnicast(src, dest torus.Node, measured bool) {
 		e.res.GeneratedUnicasts++
 		e.res.IncompleteUnicasts++ // decremented on delivery
 	}
-	dim, dir, _ := core.UnicastNextHop(e.s, src, dest, pkt.tieMask)
-	e.enqueue(src, dim, dir, &pkt)
+	e.routeUnicast(src, &pkt)
 }
 
 func (e *engine) sampleLength() int {
@@ -694,6 +1060,22 @@ func (e *engine) serviceReady() {
 		q := &e.queues[l]
 		if q.Len() == 0 {
 			return // completion with an empty queue: link simply goes idle
+		}
+		if e.faults != nil {
+			if down, until := e.faults.DownUntil(l, t); down {
+				// The link is failed this slot: its queue waits. A
+				// transient fault schedules a wake-up for the promised
+				// recovery slot; a permanent one (until < 0) never heals,
+				// so the queue is abandoned (adaptive unicast avoids such
+				// links unless no profitable alternative exists).
+				if e.probe != nil {
+					e.probe.Fault(t, l, until < 0, 0)
+				}
+				if until >= 0 {
+					e.scheduleRecovery(l, until)
+				}
+				return
+			}
 		}
 		pkt, class, _ := q.PopRef()
 		e.backlog--
@@ -775,7 +1157,7 @@ func (e *engine) finish() {
 // saturation — which adds Theta(deficit * links) packets per slot for the
 // whole window — still trips the threshold immediately.
 func (r *Result) Stable(s *torus.Shape) bool {
-	if r.Truncated {
+	if r.Truncated || r.Status != StatusOK {
 		return false
 	}
 	return r.BacklogTrend < float64(s.Links())+r.BacklogFirstQ/2

@@ -14,7 +14,9 @@ import (
 	"prioritystar/internal/balance"
 	"prioritystar/internal/cli"
 	"prioritystar/internal/core"
+	"prioritystar/internal/sim"
 	"prioritystar/internal/sweep"
+	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
 )
 
@@ -43,6 +45,23 @@ type Experiment struct {
 	Drain         int64     `json:"drain"`
 	Reps          int       `json:"reps"`
 	Seed          uint64    `json:"seed"`
+
+	// Faults is a fault-schedule description in the -faults CLI syntax
+	// (e.g. "perm:2,trans:500/50,seed:7"); empty means a fault-free run.
+	Faults string `json:"faults,omitempty"`
+	// Guard configures the divergence watchdog; nil leaves it disabled.
+	Guard *Guard `json:"guard,omitempty"`
+}
+
+// Guard is the JSON form of sim.Guard (watchdog thresholds). Zero fields
+// keep the engine defaults; Default swaps in sim.DefaultGuard for the
+// experiment's shape and lets explicit fields override it.
+type Guard struct {
+	Default        bool  `json:"default,omitempty"`
+	DivergeBacklog int64 `json:"divergeBacklog,omitempty"`
+	GrowthWindow   int64 `json:"growthWindow,omitempty"`
+	GrowthRuns     int   `json:"growthRuns,omitempty"`
+	GrowthSlack    int64 `json:"growthSlack,omitempty"`
 }
 
 func parseDiscipline(s string) (core.Discipline, error) {
@@ -124,6 +143,35 @@ func (e *Experiment) ToSweep() (*sweep.Experiment, error) {
 	default:
 		return nil, fmt.Errorf("spec: unknown distance model %q", e.Model)
 	}
+	if e.Faults != "" {
+		f, err := cli.ParseFaults(e.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		out.Faults = f
+	}
+	if e.Guard != nil {
+		g := sim.Guard{
+			DivergeBacklog: e.Guard.DivergeBacklog,
+			GrowthWindow:   e.Guard.GrowthWindow,
+			GrowthRuns:     e.Guard.GrowthRuns,
+			GrowthSlack:    e.Guard.GrowthSlack,
+		}
+		if e.Guard.Default {
+			shape, err := torus.New(e.Dims...)
+			if err != nil {
+				return nil, fmt.Errorf("spec: %v", err)
+			}
+			d := sim.DefaultGuard(shape)
+			if g.DivergeBacklog == 0 {
+				g.DivergeBacklog = d.DivergeBacklog
+			}
+			if g.GrowthWindow == 0 {
+				g.GrowthWindow = d.GrowthWindow
+			}
+		}
+		out.Guard = g
+	}
 	return out, nil
 }
 
@@ -164,6 +212,16 @@ func FromSweep(e *sweep.Experiment) *Experiment {
 		out.Model = "floor"
 	} else {
 		out.Model = "exact"
+	}
+	out.Faults = e.Faults.String()
+	if e.Guard.DivergeBacklog != 0 || e.Guard.GrowthWindow != 0 ||
+		e.Guard.GrowthRuns != 0 || e.Guard.GrowthSlack != 0 {
+		out.Guard = &Guard{
+			DivergeBacklog: e.Guard.DivergeBacklog,
+			GrowthWindow:   e.Guard.GrowthWindow,
+			GrowthRuns:     e.Guard.GrowthRuns,
+			GrowthSlack:    e.Guard.GrowthSlack,
+		}
 	}
 	return out
 }

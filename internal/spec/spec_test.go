@@ -7,7 +7,9 @@ import (
 
 	"prioritystar/internal/balance"
 	"prioritystar/internal/core"
+	"prioritystar/internal/sim"
 	"prioritystar/internal/sweep"
+	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
 )
 
@@ -107,6 +109,65 @@ func TestRoundTrip(t *testing.T) {
 			back.Schemes[i].SeparateBalance != orig.Schemes[i].SeparateBalance {
 			t.Errorf("scheme %d mismatch: %+v vs %+v", i, orig.Schemes[i], back.Schemes[i])
 		}
+	}
+}
+
+const faultedSample = `{
+  "id": "faulted",
+  "dims": [4, 4],
+  "rhos": [0.5],
+  "broadcastFrac": 1,
+  "schemes": [{"name": "priority-star"}],
+  "measure": 1000,
+  "reps": 1,
+  "seed": 7,
+  "faults": "perm:2,link:5,trans:500/50,seed:11",
+  "guard": {"default": true, "growthRuns": 6}
+}`
+
+func TestLoadFaultsAndGuard(t *testing.T) {
+	e, err := Load(strings.NewReader(faultedSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Faults == nil || e.Faults.RandomLinks != 2 || len(e.Faults.Links) != 1 ||
+		e.Faults.MTBF != 500 || e.Faults.MTTR != 50 || e.Faults.Seed != 11 {
+		t.Errorf("faults wrong: %+v", e.Faults)
+	}
+	// default:true fills in shape-derived thresholds; explicit fields win.
+	want := sim.DefaultGuard(torus.MustNew(4, 4))
+	if e.Guard.DivergeBacklog != want.DivergeBacklog || e.Guard.GrowthWindow != want.GrowthWindow {
+		t.Errorf("guard defaults not applied: %+v (want %+v)", e.Guard, want)
+	}
+	if e.Guard.GrowthRuns != 6 {
+		t.Errorf("explicit GrowthRuns lost: %+v", e.Guard)
+	}
+
+	// Bad fault syntax and bad dims under default guard surface as errors.
+	bad := strings.Replace(faultedSample, `"perm:2,link:5,trans:500/50,seed:11"`, `"perm:x"`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("bad fault syntax accepted")
+	}
+}
+
+func TestRoundTripFaultsAndGuard(t *testing.T) {
+	orig, err := Load(strings.NewReader(faultedSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+	}
+	if back.Faults.String() != orig.Faults.String() {
+		t.Errorf("faults round trip: %q vs %q", orig.Faults.String(), back.Faults.String())
+	}
+	if back.Guard != orig.Guard {
+		t.Errorf("guard round trip: %+v vs %+v", orig.Guard, back.Guard)
 	}
 }
 

@@ -1,0 +1,204 @@
+package sweep
+
+// Crash-resilient sweep checkpoints. A journal is a JSONL file: a header
+// line carrying a fingerprint of the experiment, then one line per completed
+// replication with every per-rep value the aggregation step consumes. A
+// sweep run with Checkpoint set appends each replication as it completes
+// (flushed per line, so a killed process loses at most the line being
+// written); a run with Resume set replays the journal first and only
+// simulates the replications it does not cover. Because aggregation is
+// order-deterministic over (scheme, rho, rep) — never over completion order
+// — a resumed sweep produces the exact table an uninterrupted one would.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// journalMagic identifies sweep checkpoint journals.
+const journalMagic = "pssweep1"
+
+// jsonFloat is a float64 whose JSON form maps non-finite values to null
+// (encoding/json rejects NaN and the infinities).
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// journalHeader is the first line of a checkpoint journal.
+type journalHeader struct {
+	Magic       string `json:"journal"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// repRecord is one completed replication: everything aggregation needs, so
+// a resumed sweep never re-runs the simulation behind it.
+type repRecord struct {
+	Scheme int `json:"s"`
+	Rho    int `json:"r"`
+	Rep    int `json:"rep"`
+
+	Reception  jsonFloat   `json:"rcp"`
+	Broadcast  jsonFloat   `json:"bc"`
+	Unicast    jsonFloat   `json:"uni"`
+	HighWait   jsonFloat   `json:"hw"`
+	LowWait    jsonFloat   `json:"lw"`
+	AvgUtil    jsonFloat   `json:"au"`
+	MaxDimUtil jsonFloat   `json:"mdu"`
+	DimUtil    []jsonFloat `json:"du"`
+
+	GeneratedBroadcasts  int64 `json:"gb"`
+	IncompleteBroadcasts int64 `json:"ib"`
+
+	Stable bool   `json:"st"`
+	Status string `json:"status,omitempty"` // sim.Status name when not "ok"
+	Err    string `json:"err,omitempty"`    // per-rep failure (panic, bad config)
+}
+
+// fingerprint identifies the experiment a journal belongs to: resuming with
+// a different grid, scheme list, seed, or fault schedule must error rather
+// than silently mix results.
+func (e *Experiment) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "id=%s dims=%v rhos=%v frac=%g reps=%d seed=%d w=%d m=%d d=%d mb=%d len=%g model=%d",
+		e.ID, e.Dims, e.Rhos, e.BroadcastFrac, e.Reps, e.BaseSeed,
+		e.Warmup, e.Measure, e.Drain, e.MaxBacklog, e.Length.Mean(), e.Model)
+	for _, s := range e.Schemes {
+		fmt.Fprintf(&b, " scheme=%s/%d/%d/%t", s.Name, s.Discipline, s.Rotation, s.SeparateBalance)
+	}
+	fmt.Fprintf(&b, " faults=%q guard=%+v", e.Faults.String(), e.Guard)
+	return b.String()
+}
+
+// journal appends repRecords to a checkpoint file, flushing per record.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// createJournal truncates (or creates) path and writes the header line.
+func createJournal(path, fingerprint string) (*journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: creating checkpoint: %w", err)
+	}
+	j := &journal{f: f, w: bufio.NewWriter(f)}
+	if err := j.appendLine(journalHeader{Magic: journalMagic, Fingerprint: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// openJournalAppend opens an existing journal for appending new records,
+// first truncating it to validLen so a torn final line from the crash does
+// not swallow the next record written after it.
+func openJournalAppend(path string, validLen int64) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening checkpoint: %w", err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: trimming torn checkpoint tail: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: seeking checkpoint: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func (j *journal) appendLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding checkpoint record: %w", err)
+	}
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	// One flush per record: a crash loses at most the record in flight.
+	return j.w.Flush()
+}
+
+func (j *journal) append(rec repRecord) error { return j.appendLine(rec) }
+
+func (j *journal) close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// loadJournal replays a checkpoint file. It verifies the header fingerprint
+// against the experiment, returns every intact record keyed by
+// (scheme, rho, rep), and tolerates a torn final line (the crash case the
+// journal exists for). validLen is the byte length of the intact prefix —
+// the caller truncates to it before appending, so a torn tail can never
+// corrupt the first record a resumed sweep writes. A missing file is not an
+// error: the sweep simply starts from scratch.
+func loadJournal(path, fingerprint string) (recs map[repKey]repRecord, validLen int64, found bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("sweep: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, 0, false, nil // empty file: treat as absent
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != journalMagic {
+		return nil, 0, false, fmt.Errorf("sweep: %s is not a sweep checkpoint journal", path)
+	}
+	if hdr.Fingerprint != fingerprint {
+		return nil, 0, false, fmt.Errorf("sweep: checkpoint %s belongs to a different experiment (fingerprint mismatch); delete it or drop -resume", path)
+	}
+	validLen = int64(len(sc.Bytes())) + 1
+	recs = make(map[repKey]repRecord)
+	for sc.Scan() {
+		var rec repRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			break // torn tail from a crash: keep what we have
+		}
+		validLen += int64(len(sc.Bytes())) + 1
+		recs[repKey{rec.Scheme, rec.Rho, rec.Rep}] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, false, fmt.Errorf("sweep: reading checkpoint: %w", err)
+	}
+	return recs, validLen, true, nil
+}

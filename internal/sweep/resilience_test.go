@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/fault"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// tableFingerprint renders every metric of a result to one string so two
+// results can be compared for exact (bit-identical float formatting)
+// equality.
+func tableFingerprint(r *Result) string {
+	var b strings.Builder
+	for m := MetricReception; m <= MetricMaxDimUtil; m++ {
+		b.WriteString(r.CSV(m))
+	}
+	return b.String()
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the acceptance scenario: a
+// sweep is killed partway (simulated by truncating its checkpoint journal to
+// a prefix, with a torn final line), resumed, and must produce the exact
+// point table of an uninterrupted sweep.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference (no checkpoint at all).
+	ref, err := tinyExperiment().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableFingerprint(ref)
+
+	// Full run with a journal.
+	full := tinyExperiment()
+	full.Checkpoint = filepath.Join(dir, "full.jsonl")
+	fres, err := full.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableFingerprint(fres); got != want {
+		t.Fatalf("journaling changed the result:\n%s\nvs\n%s", got, want)
+	}
+
+	// Simulate the crash: keep the header, a few intact records, and a torn
+	// half-written line.
+	data, err := os.ReadFile(full.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	partial := filepath.Join(dir, "crashed.jsonl")
+	torn := strings.Join(lines[:4], "") + lines[4][:len(lines[4])/2]
+	if err := os.WriteFile(partial, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the crashed journal.
+	resumed := tinyExperiment()
+	resumed.Checkpoint = partial
+	resumed.Resume = true
+	ran := 0
+	resumed.Progress = func(done, total int) { ran = total }
+	rres, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeGrid := len(resumed.Schemes) * len(resumed.Rhos) * resumed.Reps
+	if ran == 0 || ran >= wholeGrid {
+		t.Errorf("resume ran %d of %d replications; want a proper subset (journal replay skipped the rest)", ran, wholeGrid)
+	}
+	if got := tableFingerprint(rres); got != want {
+		t.Errorf("resumed sweep differs from uninterrupted:\n%s\nvs\n%s", got, want)
+	}
+
+	// Resuming the now-complete journal runs nothing and still matches.
+	again := tinyExperiment()
+	again.Checkpoint = partial
+	again.Resume = true
+	reran := -1
+	again.Progress = func(done, total int) { reran = total }
+	ares, err := again.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran != -1 {
+		t.Errorf("second resume re-ran %d replications; journal should cover everything", reran)
+	}
+	if got := tableFingerprint(ares); got != want {
+		t.Errorf("replay-only sweep differs from uninterrupted")
+	}
+}
+
+// TestResumeRejectsForeignJournal: resuming against a journal written by a
+// different experiment must fail loudly, not silently mix data.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.jsonl")
+	first := tinyExperiment()
+	first.Checkpoint = path
+	if _, err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyExperiment()
+	other.BaseSeed++ // different experiment
+	other.Checkpoint = path
+	other.Resume = true
+	if _, err := other.Run(); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign journal accepted (err = %v)", err)
+	}
+}
+
+// TestResumeWithMissingJournalStartsFresh: -resume on a first run (no file
+// yet) must behave like a plain checkpointed run.
+func TestResumeWithMissingJournalStartsFresh(t *testing.T) {
+	e := tinyExperiment()
+	e.Checkpoint = filepath.Join(t.TempDir(), "new.jsonl")
+	e.Resume = true
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	if _, err := os.Stat(e.Checkpoint); err != nil {
+		t.Errorf("journal not created: %v", err)
+	}
+}
+
+// TestRunSafeRecoversPanics: a panicking simulation becomes an error and the
+// worker's Runner is replaced so later runs are unaffected.
+func TestRunSafeRecoversPanics(t *testing.T) {
+	shape := torus.MustNew(4, 4)
+	rates, err := traffic.RatesForRho(shape, 0.3, 1, 1, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := PrioritySTARSpec.Build(shape, rates, balance.ExactDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Shape: shape, Scheme: sch, Rates: rates, Seed: 4,
+		Warmup: 10, Measure: 100, Drain: 50,
+		OnDeliver: func(sim.DeliverEvent) { panic("boom") },
+	}
+	runner := new(sim.Runner)
+	before := runner
+	res, err := runSafe(&runner, cfg)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic", err)
+	}
+	if res != nil {
+		t.Error("panicked run returned a result")
+	}
+	if runner == before {
+		t.Error("poisoned Runner was not replaced")
+	}
+	cfg.OnDeliver = nil
+	good, err := runSafe(&runner, cfg)
+	if err != nil || good == nil {
+		t.Fatalf("replacement runner failed: %v", err)
+	}
+}
+
+// TestExperimentRecordsPerPointErrors: a fault schedule that fails to
+// compile for the shape is rejected up front, but a panic mid-sweep lands in
+// Point.FailedReps. Exercised here through the record-aggregation path.
+func TestExperimentRecordsPerPointErrors(t *testing.T) {
+	e := tinyExperiment()
+	e.Faults = &fault.Schedule{Links: []torus.LinkID{99999}}
+	if _, err := e.Run(); err == nil {
+		t.Error("invalid fault schedule accepted")
+	}
+
+	// Error records aggregate into FailedReps without killing the sweep.
+	shape := torus.MustNew(4, 4)
+	e2 := tinyExperiment()
+	recs := map[repKey]repRecord{
+		{0, 0, 0}: {Scheme: 0, Rho: 0, Rep: 0, Err: "simulated failure"},
+	}
+	_ = shape
+	// Aggregate through the public path: run the sweep, then overlay the
+	// failure by rebuilding points from records via a resumed journal.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "err.jsonl")
+	j, err := createJournal(path, e2.fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	e2.Checkpoint = path
+	e2.Resume = true
+	res, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Series[0].Points[0]
+	if p.FailedReps != 1 || p.Error != "simulated failure" {
+		t.Errorf("FailedReps=%d Error=%q; want the journaled failure surfaced", p.FailedReps, p.Error)
+	}
+	if p.Reception.N() != e2.Reps-1 {
+		t.Errorf("failed rep leaked into aggregates: N=%d", p.Reception.N())
+	}
+}
+
+// TestSweepContextCancellation: a cancelled context aborts the sweep with
+// the context's error.
+func TestSweepContextCancellation(t *testing.T) {
+	e := tinyExperiment()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Context = ctx
+	if _, err := e.Run(); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepWithFaultsAndWatchdog runs a faulted, guarded sweep end to end:
+// the rho=1.4 column must be cut short by the watchdog and feed the
+// instability marking.
+func TestSweepWithFaultsAndWatchdog(t *testing.T) {
+	e := tinyExperiment()
+	e.Rhos = []float64{0.3, 1.4}
+	e.Schemes = []SchemeSpec{PrioritySTARSpec}
+	e.Faults = &fault.Schedule{Seed: 3, RandomLinks: 1}
+	e.Guard = sim.DefaultGuard(torus.MustNew(e.Dims...))
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	if pts[1].DivergedReps != e.Reps {
+		t.Errorf("rho=1.4: DivergedReps=%d, want %d", pts[1].DivergedReps, e.Reps)
+	}
+	if pts[1].UnstableReps != e.Reps {
+		t.Errorf("rho=1.4: UnstableReps=%d, want %d (diverged reps are unstable)", pts[1].UnstableReps, e.Reps)
+	}
+	if pts[0].DivergedReps != 0 {
+		t.Errorf("rho=0.3 diverged %d reps under a single link fault", pts[0].DivergedReps)
+	}
+}

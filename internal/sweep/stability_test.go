@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/torus"
+)
+
+// TestStabilitySearchAllUnstable: when even lo is unstable the search must
+// return lo without bisecting (the all-unstable series case).
+func TestStabilitySearchAllUnstable(t *testing.T) {
+	got, err := StabilitySearch([]int{4, 4}, FCFSDirectSpec, 1,
+		balance.ExactDistance, 2000, 1, 11, 2.0, 3.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.0 {
+		t.Errorf("all-unstable search returned %g, want lo (2.0)", got)
+	}
+}
+
+// TestStabilitySearchDegenerateInterval: tol at least as wide as the
+// interval means no bisection step runs; a stable lo yields the midpoint.
+func TestStabilitySearchDegenerateInterval(t *testing.T) {
+	got, err := StabilitySearch([]int{4, 4}, PrioritySTARSpec, 1,
+		balance.ExactDistance, 1500, 1, 11, 0.3, 0.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.35 {
+		t.Errorf("degenerate interval returned %g, want midpoint 0.35", got)
+	}
+}
+
+// TestStabilitySearchBadDims: invalid torus dimensions surface as an error,
+// not a panic.
+func TestStabilitySearchBadDims(t *testing.T) {
+	if _, err := StabilitySearch([]int{0}, PrioritySTARSpec, 1,
+		balance.ExactDistance, 1000, 1, 1, 0.5, 1.0, 0.1); err == nil {
+		t.Error("zero dimension accepted")
+	}
+}
+
+// mkResult builds a Result by hand for unstableAnywhere/Table tests.
+func mkResult(rhos []float64, points ...[]Point) *Result {
+	r := &Result{Exp: &Experiment{ID: "t", Title: "t", Dims: []int{4, 4}, Rhos: rhos}}
+	for i, pts := range points {
+		r.Series = append(r.Series, Series{Scheme: SchemeSpec{Name: string(rune('A' + i))}, Points: pts})
+	}
+	return r
+}
+
+// TestUnstableAnywhereEdgeCases covers the grid shapes the marker logic has
+// to get right: empty results, single-rho grids, all-unstable series, and
+// diverged replications (which count as unstable).
+func TestUnstableAnywhereEdgeCases(t *testing.T) {
+	if unstableAnywhere(&Result{Exp: &Experiment{}}) {
+		t.Error("empty result reported unstable")
+	}
+	single := mkResult([]float64{0.5}, []Point{{Rho: 0.5}})
+	if unstableAnywhere(single) {
+		t.Error("stable single-rho grid reported unstable")
+	}
+	single.Series[0].Points[0].UnstableReps = 1
+	if !unstableAnywhere(single) {
+		t.Error("unstable single-rho grid missed")
+	}
+	allBad := mkResult([]float64{0.5, 0.9},
+		[]Point{{Rho: 0.5, UnstableReps: 2}, {Rho: 0.9, UnstableReps: 2}})
+	if !unstableAnywhere(allBad) {
+		t.Error("all-unstable series missed")
+	}
+	// A watchdog-terminated rep is recorded as both diverged and unstable:
+	// DivergedReps must never exceed UnstableReps and alone implies marking.
+	div := mkResult([]float64{1.2},
+		[]Point{{Rho: 1.2, UnstableReps: 1, DivergedReps: 1}})
+	if !unstableAnywhere(div) {
+		t.Error("diverged rep did not trip the instability check")
+	}
+}
+
+// TestTableMarkerSynthetic: on hand-built results, the table stars unstable
+// cells and appends the footnote only when something is unstable.
+func TestTableMarkerSynthetic(t *testing.T) {
+	stable := mkResult([]float64{0.5}, []Point{{Rho: 0.5}})
+	if s := stable.Table(MetricReception); strings.Contains(s, "*") {
+		t.Errorf("stable table contains a marker:\n%s", s)
+	}
+	marked := mkResult([]float64{0.5}, []Point{{Rho: 0.5, UnstableReps: 1}})
+	s := marked.Table(MetricReception)
+	if !strings.Contains(s, "*") || !strings.Contains(s, "saturation") {
+		t.Errorf("unstable table missing marker or footnote:\n%s", s)
+	}
+}
+
+// TestDivergedFeedsUnstable: end-to-end check that a sim run terminated by
+// the watchdog surfaces through makeRecord into UnstableReps/DivergedReps.
+func TestDivergedFeedsUnstable(t *testing.T) {
+	shape := torus.MustNew(4, 4)
+	res := &sim.Result{Status: sim.StatusDiverged}
+	rec := tinyExperiment().makeRecord(shape, repKey{0, 0, 0}, res)
+	if rec.Stable {
+		t.Error("diverged result recorded as stable")
+	}
+	if rec.Status != sim.StatusDiverged.String() {
+		t.Errorf("status = %q, want %q", rec.Status, sim.StatusDiverged)
+	}
+}

@@ -5,6 +5,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -15,6 +17,7 @@ import (
 
 	"prioritystar/internal/balance"
 	"prioritystar/internal/core"
+	"prioritystar/internal/fault"
 	"prioritystar/internal/plot"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/stats"
@@ -89,6 +92,25 @@ type Experiment struct {
 	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
 	Workers int
 
+	// Faults applies one deterministic fault schedule (see internal/fault)
+	// to every replication. nil or empty keeps runs fault-free.
+	Faults *fault.Schedule
+	// Guard arms the per-run divergence watchdog and wall-clock timeout on
+	// every replication. The zero value leaves runs unguarded.
+	Guard sim.Guard
+	// Context, when non-nil, cancels the sweep: in-flight simulations stop
+	// at their next poll and Run returns the context's error.
+	Context context.Context
+
+	// Checkpoint, when non-empty, journals each completed replication to
+	// this JSONL file so a crashed or killed sweep can be resumed.
+	Checkpoint string
+	// Resume replays an existing Checkpoint journal before running: intact
+	// records are reused and only missing replications are simulated. The
+	// aggregated table is identical to an uninterrupted sweep's. Resuming
+	// against a journal from a different experiment is an error.
+	Resume bool
+
 	// Progress, when non-nil, is called after every completed replication
 	// with the number finished so far and the total. Calls come from the
 	// single collector goroutine in completion order, so implementations
@@ -133,6 +155,14 @@ type Point struct {
 	GeneratedBroadcasts  int64
 	IncompleteBroadcasts int64
 	UnstableReps         int
+	// DivergedReps counts replications the divergence watchdog terminated
+	// (a subset of UnstableReps).
+	DivergedReps int
+	// FailedReps counts replications that errored (recovered panics, bad
+	// configurations); Error holds the first such message. Failed reps
+	// contribute nothing to the aggregates.
+	FailedReps int
+	Error      string
 }
 
 // Series is one scheme's curve over the rho grid.
@@ -148,12 +178,57 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-type cellKey struct{ scheme, rho int }
+// repKey identifies one replication of one cell.
+type repKey struct{ scheme, rho, rep int }
+
+// makeRecord flattens one simulation result into the journal/aggregation
+// record for (k, res).
+func (e *Experiment) makeRecord(shape *torus.Shape, k repKey, res *sim.Result) repRecord {
+	low := e.Schemes[k.scheme].Discipline.Classes() - 1
+	rec := repRecord{
+		Scheme: k.scheme, Rho: k.rho, Rep: k.rep,
+		Reception:  jsonFloat(res.Reception.Mean()),
+		Broadcast:  jsonFloat(res.Broadcast.Mean()),
+		Unicast:    jsonFloat(res.Unicast.Mean()),
+		HighWait:   jsonFloat(res.QueueWait[0].Mean()),
+		LowWait:    jsonFloat(res.QueueWait[low].Mean()),
+		AvgUtil:    jsonFloat(res.AvgUtilization),
+		MaxDimUtil: jsonFloat(res.MaxDimUtilization),
+
+		GeneratedBroadcasts:  res.GeneratedBroadcasts,
+		IncompleteBroadcasts: res.IncompleteBroadcasts,
+		Stable:               res.Stable(shape),
+	}
+	for _, u := range res.DimUtilization {
+		rec.DimUtil = append(rec.DimUtil, jsonFloat(u))
+	}
+	if res.Status != sim.StatusOK {
+		rec.Status = res.Status.String()
+	}
+	return rec
+}
+
+// runSafe executes one simulation, converting a panic into an error. A panic
+// leaves the Runner's recycled buffers in an unknown state, so the worker's
+// Runner is replaced wholesale.
+func runSafe(runner **sim.Runner, cfg sim.Config) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			*runner = new(sim.Runner)
+			err = fmt.Errorf("sweep: simulation panicked: %v", r)
+		}
+	}()
+	return (*runner).Run(cfg)
+}
 
 // Run executes every (scheme, rho, rep) simulation, fanning out across a
 // bounded worker pool, and aggregates per-cell summaries. Seeds are derived
-// deterministically from BaseSeed, so a Result is reproducible regardless
-// of scheduling.
+// deterministically from BaseSeed and the aggregation visits replications
+// in (scheme, rho, rep) order — never completion order — so a Result is
+// bit-reproducible regardless of scheduling, and a Resume-d sweep matches an
+// uninterrupted one exactly. A replication that panics or errors is recorded
+// on its Point (FailedReps/Error) without killing the experiment; only
+// context cancellation aborts the whole sweep.
 func (e *Experiment) Run() (*Result, error) {
 	if err := e.validate(); err != nil {
 		return nil, err
@@ -162,10 +237,39 @@ func (e *Experiment) Run() (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
 	}
+	if err := e.Faults.Validate(shape); err != nil {
+		return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+	}
+
+	// Checkpoint replay and journal setup.
+	records := make(map[repKey]repRecord)
+	var jnl *journal
+	if e.Checkpoint != "" {
+		fp := e.fingerprint()
+		if e.Resume {
+			resumed, validLen, found, err := loadJournal(e.Checkpoint, fp)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				records = resumed
+				jnl, err = openJournalAppend(e.Checkpoint, validLen)
+			} else {
+				jnl, err = createJournal(e.Checkpoint, fp)
+			}
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if jnl, err = createJournal(e.Checkpoint, fp); err != nil {
+				return nil, err
+			}
+		}
+		defer jnl.close()
+	}
 
 	type job struct {
-		key cellKey
-		rep int
+		key repKey
 		cfg sim.Config
 	}
 	var jobs []job
@@ -180,15 +284,21 @@ func (e *Experiment) Run() (*Result, error) {
 				return nil, fmt.Errorf("sweep %q, scheme %q: %w", e.ID, spec.Name, err)
 			}
 			for rep := 0; rep < e.Reps; rep++ {
+				key := repKey{si, ri, rep}
+				if _, ok := records[key]; ok {
+					continue // already journaled by a previous run
+				}
 				seed := e.BaseSeed ^ (uint64(si)+1)<<40 ^ (uint64(ri)+1)<<20 ^ uint64(rep+1)
 				jobs = append(jobs, job{
-					key: cellKey{si, ri},
-					rep: rep,
+					key: key,
 					cfg: sim.Config{
 						Shape: shape, Scheme: sch, Rates: rates,
 						Length: e.Length, Seed: seed,
 						Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
 						MaxBacklog: e.MaxBacklog,
+						Faults:     e.Faults,
+						Guard:      e.Guard,
+						Context:    e.Context,
 					},
 				})
 			}
@@ -204,7 +314,7 @@ func (e *Experiment) Run() (*Result, error) {
 	}
 
 	type outcome struct {
-		key cellKey
+		key repKey
 		res *sim.Result
 		err error
 	}
@@ -217,10 +327,11 @@ func (e *Experiment) Run() (*Result, error) {
 		go func() {
 			defer wg.Done()
 			// Each worker owns a Runner so queue/wheel buffers are
-			// allocated once and reused across its replications.
-			var runner sim.Runner
+			// allocated once and reused across its replications; runSafe
+			// replaces it after a panic.
+			runner := new(sim.Runner)
 			for j := range jobCh {
-				res, err := runner.Run(j.cfg)
+				res, err := runSafe(&runner, j.cfg)
 				outCh <- outcome{key: j.key, res: res, err: err}
 			}
 		}()
@@ -234,9 +345,7 @@ func (e *Experiment) Run() (*Result, error) {
 		close(outCh)
 	}()
 
-	cells := make(map[cellKey]*Point)
-	shapes := shape // for Stable()
-	var firstErr error
+	var ctxErr error
 	done := 0
 	for out := range outCh {
 		done++
@@ -244,47 +353,73 @@ func (e *Experiment) Run() (*Result, error) {
 			e.Progress(done, len(jobs))
 		}
 		if out.err != nil {
-			if firstErr == nil {
-				firstErr = out.err
+			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+				// Cancellation, not a per-rep failure: abort (after
+				// draining outCh so the workers can exit).
+				if ctxErr == nil {
+					ctxErr = out.err
+				}
+				continue
 			}
-			continue
+			records[out.key] = repRecord{
+				Scheme: out.key.scheme, Rho: out.key.rho, Rep: out.key.rep,
+				Err: out.err.Error(),
+			}
+		} else {
+			records[out.key] = e.makeRecord(shape, out.key, out.res)
 		}
-		p := cells[out.key]
-		if p == nil {
-			p = &Point{Rho: e.Rhos[out.key.rho]}
-			cells[out.key] = p
-		}
-		r := out.res
-		p.Reception.AddRep(r.Reception.Mean())
-		p.Broadcast.AddRep(r.Broadcast.Mean())
-		p.Unicast.AddRep(r.Unicast.Mean())
-		p.HighWait.AddRep(r.QueueWait[0].Mean())
-		low := e.Schemes[out.key.scheme].Discipline.Classes() - 1
-		p.LowWait.AddRep(r.QueueWait[low].Mean())
-		p.AvgUtil.AddRep(r.AvgUtilization)
-		p.MaxDimUtil.AddRep(r.MaxDimUtilization)
-		if p.DimUtil == nil {
-			p.DimUtil = make([]stats.Summary, len(r.DimUtilization))
-		}
-		for i, u := range r.DimUtilization {
-			p.DimUtil[i].AddRep(u)
-		}
-		p.GeneratedBroadcasts += r.GeneratedBroadcasts
-		p.IncompleteBroadcasts += r.IncompleteBroadcasts
-		if !r.Stable(shapes) {
-			p.UnstableReps++
+		if jnl != nil {
+			if err := jnl.append(records[out.key]); err != nil {
+				return nil, fmt.Errorf("sweep: writing checkpoint: %w", err)
+			}
 		}
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 
+	// Deterministic aggregation: visit (scheme, rho, rep) in index order so
+	// the float summaries are independent of worker scheduling and of how
+	// the records were split between journal replay and fresh simulation.
 	res := &Result{Exp: e, Elapsed: time.Since(start)}
 	for si, spec := range e.Schemes {
 		series := Series{Scheme: spec, Points: make([]Point, len(e.Rhos))}
 		for ri := range e.Rhos {
-			if p := cells[cellKey{si, ri}]; p != nil {
-				series.Points[ri] = *p
+			p := &series.Points[ri]
+			p.Rho = e.Rhos[ri]
+			for rep := 0; rep < e.Reps; rep++ {
+				rec, ok := records[repKey{si, ri, rep}]
+				if !ok {
+					continue
+				}
+				if rec.Err != "" {
+					p.FailedReps++
+					if p.Error == "" {
+						p.Error = rec.Err
+					}
+					continue
+				}
+				p.Reception.AddRep(float64(rec.Reception))
+				p.Broadcast.AddRep(float64(rec.Broadcast))
+				p.Unicast.AddRep(float64(rec.Unicast))
+				p.HighWait.AddRep(float64(rec.HighWait))
+				p.LowWait.AddRep(float64(rec.LowWait))
+				p.AvgUtil.AddRep(float64(rec.AvgUtil))
+				p.MaxDimUtil.AddRep(float64(rec.MaxDimUtil))
+				if p.DimUtil == nil {
+					p.DimUtil = make([]stats.Summary, len(rec.DimUtil))
+				}
+				for i, u := range rec.DimUtil {
+					p.DimUtil[i].AddRep(float64(u))
+				}
+				p.GeneratedBroadcasts += rec.GeneratedBroadcasts
+				p.IncompleteBroadcasts += rec.IncompleteBroadcasts
+				if !rec.Stable {
+					p.UnstableReps++
+				}
+				if rec.Status == sim.StatusDiverged.String() {
+					p.DivergedReps++
+				}
 			}
 		}
 		res.Series = append(res.Series, series)

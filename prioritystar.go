@@ -31,7 +31,9 @@ package prioritystar
 import (
 	"prioritystar/internal/analysis"
 	"prioritystar/internal/balance"
+	"prioritystar/internal/cli"
 	"prioritystar/internal/core"
+	"prioritystar/internal/fault"
 	"prioritystar/internal/finite"
 	"prioritystar/internal/obs"
 	"prioritystar/internal/sim"
@@ -106,6 +108,14 @@ type (
 	Metric = sweep.Metric
 	// Scale selects predefined-experiment effort.
 	Scale = sweep.Scale
+	// FaultSchedule describes deterministic link/node failures to inject
+	// into a run (SimConfig.Faults, Experiment.Faults).
+	FaultSchedule = fault.Schedule
+	// Guard configures the divergence watchdog and wall-clock limits.
+	Guard = sim.Guard
+	// RunStatus reports how a simulation ended (ok, truncated, diverged,
+	// or timeout).
+	RunStatus = sim.Status
 )
 
 // Ring directions.
@@ -139,6 +149,14 @@ const (
 	Quick    = sweep.Quick
 	Standard = sweep.Standard
 	Full     = sweep.Full
+)
+
+// Run statuses.
+const (
+	StatusOK        = sim.StatusOK
+	StatusTruncated = sim.StatusTruncated
+	StatusDiverged  = sim.StatusDiverged
+	StatusTimeout   = sim.StatusTimeout
 )
 
 // Table metrics.
@@ -212,6 +230,16 @@ func DimOrderFCFS(s *Shape) (*Scheme, error) { return core.DimOrderFCFS(s) }
 
 // Simulate executes one simulation run.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// DefaultGuard returns watchdog thresholds sized for shape s: runs whose
+// backlog crosses a multiple of the link count, or grows monotonically
+// across consecutive windows, end early with StatusDiverged.
+func DefaultGuard(s *Shape) Guard { return sim.DefaultGuard(s) }
+
+// ParseFaults parses the CLI fault-schedule syntax, e.g.
+// "perm:2,link:5,node:3,trans:500/50,seed:7". Empty input yields a nil
+// (fault-free) schedule.
+func ParseFaults(s string) (*FaultSchedule, error) { return cli.ParseFaults(s) }
 
 // NewStandardProbes builds the standard observability bundle for one run
 // measuring [warmup, warmup+measure).
