@@ -7,35 +7,39 @@
 //	starsim -shape 4x4x8 -scheme separate-fcfs -frac 0.5 -sweep 0.5,0.7,0.9
 //	starsim -shape 8x8 -scheme fcfs-direct -rho 0.9 -len geom:4 -csv
 //	starsim -shape 8x8 -rho 0.8 -metrics-json run.json   # instrumented run
+//
+// Exit status: 0 on a clean run, 3 when the sweep completed but some
+// replications failed or were terminated by the divergence watchdog (the
+// printed aggregates are partial), 1 on hard errors.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"prioritystar"
-	"prioritystar/internal/balance"
 	"prioritystar/internal/cli"
 	"prioritystar/internal/obs"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/spec"
-	"prioritystar/internal/sweep"
 	"prioritystar/internal/traffic"
 )
 
-// options collects the workload flags shared by the sweep and the
-// instrumented-run paths.
+// errPartial marks a sweep that finished but lost replications to errors or
+// the divergence watchdog; main maps it to exit status 3 so scripted sweeps
+// (and make smoke targets) can tell "partial data" from "no data".
+var errPartial = errors.New("some replications failed or diverged; aggregates are partial")
+
+// options collects the flags shared by the sweep and the instrumented-run
+// paths: the workload itself plus robustness and output knobs.
 type options struct {
-	shape, scheme, sweepStr, lenStr string
-	rho, frac                       float64
-	seed                            uint64
-	warmup, measure, drain          int64
-	reps                            int
-	floor, csv, dump, dimReport     bool
-	metricsJSON                     string
+	w                      cli.Workload
+	csv, dump, dimReport   bool
+	metricsJSON            string
 
 	faultsStr  string
 	timeout    time.Duration
@@ -74,18 +78,7 @@ func (o *options) robustness(exp *prioritystar.Experiment) error {
 
 func main() {
 	var o options
-	flag.StringVar(&o.shape, "shape", "8x8", "torus shape, e.g. 8x8 or 4x4x8")
-	flag.StringVar(&o.scheme, "scheme", "priority-star", "routing scheme: "+cli.SchemeNames())
-	flag.Float64Var(&o.rho, "rho", 0.8, "throughput factor for a single run")
-	flag.StringVar(&o.sweepStr, "sweep", "", "comma-separated rho grid (overrides -rho)")
-	flag.Float64Var(&o.frac, "frac", 1, "fraction of transmission load from broadcasts")
-	flag.StringVar(&o.lenStr, "len", "fixed:1", "packet lengths: fixed:N or geom:MEAN")
-	flag.Uint64Var(&o.seed, "seed", 1, "base RNG seed")
-	flag.Int64Var(&o.warmup, "warmup", 3000, "warm-up slots")
-	flag.Int64Var(&o.measure, "measure", 10000, "measurement slots")
-	flag.Int64Var(&o.drain, "drain", 4000, "drain slots")
-	flag.IntVar(&o.reps, "reps", 3, "replications per sweep point")
-	flag.BoolVar(&o.floor, "floor", false, "use the paper's floor(n/4) distance model")
+	o.w.Register(flag.CommandLine)
 	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of tables")
 	flag.BoolVar(&o.dimReport, "dim-report", false, "print the per-dimension link-utilization report")
 	flag.StringVar(&o.metricsJSON, "metrics-json", "",
@@ -103,15 +96,17 @@ func main() {
 	dumpFlag := flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
 	flag.Parse()
 	o.dump = *dumpFlag
-	if *specFlag != "" {
-		if err := runSpec(*specFlag, o); err != nil {
-			fmt.Fprintln(os.Stderr, "starsim:", err)
-			os.Exit(1)
+	err := func() error {
+		if *specFlag != "" {
+			return runSpec(*specFlag, o)
 		}
-		return
-	}
-	if err := run(o); err != nil {
+		return run(o)
+	}()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "starsim:", err)
+		if errors.Is(err, errPartial) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -130,6 +125,9 @@ func runSpec(path string, o options) error {
 	if err := o.robustness(exp); err != nil {
 		return err
 	}
+	if err := spec.Stamp(exp); err != nil {
+		return err
+	}
 	if o.dump {
 		return spec.Save(os.Stdout, exp)
 	}
@@ -137,63 +135,52 @@ func runSpec(path string, o options) error {
 }
 
 func run(o options) error {
-	dims, err := cli.ParseShape(o.shape)
-	if err != nil {
-		return err
-	}
-	schemeSpec, err := cli.SchemeByName(o.scheme)
-	if err != nil {
-		return err
-	}
-	length, err := cli.ParseLength(o.lenStr)
-	if err != nil {
-		return err
-	}
-	model := prioritystar.ExactDistance
-	if o.floor {
-		model = prioritystar.PaperFloorDistance
-	}
-
 	if o.metricsJSON != "" {
-		if o.sweepStr != "" {
+		if o.w.Sweep != "" {
 			return fmt.Errorf("-metrics-json instruments a single run; drop -sweep")
 		}
-		return runMetrics(dims, schemeSpec, length, model, o)
+		return runMetrics(o)
 	}
-
-	rhos := []float64{o.rho}
-	if o.sweepStr != "" {
-		if rhos, err = cli.ParseRhos(o.sweepStr); err != nil {
-			return err
-		}
-	}
-	exp := &prioritystar.Experiment{
-		ID:    "cli",
-		Title: fmt.Sprintf("starsim %s on %s", o.scheme, o.shape),
-		Dims:  dims, Rhos: rhos, BroadcastFrac: o.frac,
-		Schemes: []prioritystar.SchemeSpec{schemeSpec},
-		Length:  length, Model: model,
-		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
-		Reps: o.reps, BaseSeed: o.seed,
+	exp, err := o.w.Experiment("cli", fmt.Sprintf("starsim %s on %s", o.w.Scheme, o.w.Shape))
+	if err != nil {
+		return err
 	}
 	if err := o.robustness(exp); err != nil {
+		return err
+	}
+	if err := spec.Stamp(exp); err != nil {
 		return err
 	}
 	if o.dump {
 		return spec.Save(os.Stdout, exp)
 	}
-	return render(exp, o.frac, o)
+	return render(exp, o.w.Frac, o)
 }
 
 // runMetrics executes one probe-instrumented simulation and writes the
 // metrics report plus its run manifest.
-func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDist,
-	model balance.DistanceModel, o options) error {
+func runMetrics(o options) error {
+	dims, err := cli.ParseShape(o.w.Shape)
+	if err != nil {
+		return err
+	}
+	schemeSpec, err := cli.SchemeByName(o.w.Scheme)
+	if err != nil {
+		return err
+	}
+	length, err := cli.ParseLength(o.w.Len)
+	if err != nil {
+		return err
+	}
+	model := prioritystar.ExactDistance
+	if o.w.Floor {
+		model = prioritystar.PaperFloorDistance
+	}
 	shape, err := prioritystar.NewTorus(dims...)
 	if err != nil {
 		return err
 	}
-	rates, err := traffic.RatesForRho(shape, o.rho, o.frac, length.Mean(), model)
+	rates, err := traffic.RatesForRho(shape, o.w.Rho, o.w.Frac, length.Mean(), model)
 	if err != nil {
 		return err
 	}
@@ -210,10 +197,10 @@ func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDi
 		guard = sim.DefaultGuard(shape)
 	}
 	guard.Timeout = o.timeout
-	std := obs.NewStandard(shape, o.warmup, o.measure)
+	std := obs.NewStandard(shape, o.w.Warmup, o.w.Measure)
 	res, err := sim.Run(sim.Config{
-		Shape: shape, Scheme: sch, Rates: rates, Length: length, Seed: o.seed,
-		Warmup: o.warmup, Measure: o.measure, Drain: o.drain,
+		Shape: shape, Scheme: sch, Rates: rates, Length: length, Seed: o.w.Seed,
+		Warmup: o.w.Warmup, Measure: o.w.Measure, Drain: o.w.Drain,
 		Probe: std, Faults: faults, Guard: guard,
 	})
 	if err != nil {
@@ -223,10 +210,10 @@ func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDi
 		fmt.Fprintf(os.Stderr, "starsim: run ended with status %s\n", res.Status)
 	}
 
-	m := obs.NewManifest(dims, schemeSpec.Name, o.seed, rates.LambdaB, rates.LambdaR,
-		o.warmup, o.measure, o.drain)
-	m.Rho = o.rho
-	m.Length = o.lenStr
+	m := obs.NewManifest(dims, schemeSpec.Name, o.w.Seed, rates.LambdaB, rates.LambdaR,
+		o.w.Warmup, o.w.Measure, o.w.Drain)
+	m.Rho = o.w.Rho
+	m.Length = o.w.Len
 	m.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 
 	rep := std.Report(m)
@@ -274,7 +261,9 @@ func runMetrics(dims []int, schemeSpec sweep.SchemeSpec, length traffic.LengthDi
 	return nil
 }
 
-// render runs the experiment and prints the requested output format.
+// render runs the experiment and prints the requested output format. A
+// completed sweep with failed or watchdog-terminated replications returns
+// errPartial after printing, so the caller can exit with status 3.
 func render(exp *prioritystar.Experiment, frac float64, o options) error {
 	res, err := exp.Run()
 	if err != nil {
@@ -298,14 +287,24 @@ func render(exp *prioritystar.Experiment, frac float64, o options) error {
 	if o.dimReport {
 		fmt.Println(res.DimLoadReport())
 	}
+	partial := false
 	for _, s := range res.Series {
 		for _, p := range s.Points {
 			if p.FailedReps > 0 {
+				partial = true
 				fmt.Fprintf(os.Stderr, "starsim: %s rho %.3f: %d failed replications (%s)\n",
 					s.Scheme.Name, p.Rho, p.FailedReps, p.Error)
+			}
+			if p.DivergedReps > 0 {
+				partial = true
+				fmt.Fprintf(os.Stderr, "starsim: %s rho %.3f: %d replications terminated by the divergence watchdog\n",
+					s.Scheme.Name, p.Rho, p.DivergedReps)
 			}
 		}
 	}
 	fmt.Printf("elapsed: %s\n", res.Elapsed.Round(1e7))
+	if partial {
+		return errPartial
+	}
 	return nil
 }

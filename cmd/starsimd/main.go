@@ -1,0 +1,83 @@
+// Command starsimd is the simulation-as-a-service daemon: it accepts
+// experiment specs over HTTP (the internal/spec JSON format), runs them on
+// a bounded worker pool, and answers repeated submissions from a
+// content-addressed result cache keyed by the spec fingerprint.
+//
+//	starsimd -addr 127.0.0.1:7077 -workers 4 -cache results.jsonl
+//
+// SIGINT/SIGTERM drain the daemon: intake stops, accepted jobs finish and
+// land in the cache, then the process exits. A second signal aborts
+// in-flight jobs. See internal/serve for the HTTP API and cmd/psctl for
+// the client.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prioritystar/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7077", "HTTP listen address (use :0 for a free port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
+		workers  = flag.Int("workers", 2, "concurrently running jobs")
+		queueCap = flag.Int("queue", 16, "queued-but-unstarted job capacity; a full queue answers 429")
+		slots    = flag.Int("slots-per-job", 0, "per-job sweep parallelism cap (0: sweep default, GOMAXPROCS)")
+		cache    = flag.String("cache", "", "persist the result cache to this JSONL journal")
+		jobTO    = flag.Duration("job-timeout", 0, "wall-clock guard for jobs that do not set their own (e.g. 5m)")
+		drainTO  = flag.Duration("drain-timeout", 0, "cap on graceful drain at shutdown; 0 waits for every accepted job")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "starsimd: ", log.LstdFlags)
+	s, err := serve.New(serve.Config{
+		Addr:        *addr,
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		SlotsPerJob: *slots,
+		CachePath:   *cache,
+		JobTimeout:  *jobTO,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	bound, err := s.Start()
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	logger.Printf("received %s; draining (accepted jobs finish, intake stops)", sig)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	if *drainTO > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), *drainTO)
+	}
+	defer cancel()
+	go func() {
+		<-sigs
+		logger.Printf("second signal; aborting in-flight jobs")
+		cancel()
+	}()
+
+	if err := s.Shutdown(ctx); err != nil &&
+		err != context.Canceled && err != context.DeadlineExceeded {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained; bye")
+}

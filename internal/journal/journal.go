@@ -1,0 +1,141 @@
+// Package journal is the JSONL checkpoint-journal machinery shared by the
+// sweep checkpoints (internal/sweep) and the daemon's result cache
+// (internal/serve). A journal is a line-oriented JSON file: a header line
+// carrying a magic string and a fingerprint of whatever the journal belongs
+// to, then one JSON record per line. Writers flush per record so a killed
+// process loses at most the line in flight; readers tolerate a torn final
+// line and report the byte length of the intact prefix so appenders can trim
+// the tear before writing anything after it.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// header is the first line of every journal.
+type header struct {
+	Magic       string `json:"journal"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Writer appends JSON records to a journal file, flushing per record.
+type Writer struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// Create truncates (or creates) path and writes the header line.
+func Create(path, magic, fingerprint string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", path, err)
+	}
+	j := &Writer{f: f, w: bufio.NewWriter(f)}
+	if err := j.Append(header{Magic: magic, Fingerprint: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenAppend opens an existing journal for appending new records, first
+// truncating it to validLen (as reported by Load) so a torn final line from
+// a crash does not swallow the next record written after it.
+func OpenAppend(path string, validLen int64) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: trimming torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	return &Writer{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Append marshals v onto its own line and flushes, so a crash loses at most
+// the record in flight.
+func (j *Writer) Append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying file.
+func (j *Writer) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ErrFingerprint reports a journal whose header fingerprint does not match
+// the caller's expectation; callers wrap it with domain-specific advice.
+type ErrFingerprint struct {
+	Path string
+	Got  string
+}
+
+// Error implements error.
+func (e *ErrFingerprint) Error() string {
+	return fmt.Sprintf("journal: %s has a mismatched fingerprint", e.Path)
+}
+
+// Load replays a journal. It verifies the header magic (and, when want is
+// non-empty, the header fingerprint), then calls each for every record line
+// in order. A line each fails to accept (returns an error for) is treated as
+// the torn tail of a crashed write: replay stops there, silently, keeping
+// everything before it. validLen is the byte length of the intact prefix —
+// callers pass it to OpenAppend so the tear can never corrupt the next
+// record. A missing or empty file is not an error: found is false and the
+// caller starts from scratch.
+func Load(path, magic, want string, each func(line []byte) error) (validLen int64, found bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return 0, false, nil // empty file: treat as absent
+	}
+	var hdr header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != magic {
+		return 0, false, fmt.Errorf("journal: %s is not a %s journal", path, magic)
+	}
+	if want != "" && hdr.Fingerprint != want {
+		return 0, false, &ErrFingerprint{Path: path, Got: hdr.Fingerprint}
+	}
+	validLen = int64(len(sc.Bytes())) + 1
+	for sc.Scan() {
+		if err := each(sc.Bytes()); err != nil {
+			break // torn tail from a crash: keep what we have
+		}
+		validLen += int64(len(sc.Bytes())) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return 0, false, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	return validLen, true, nil
+}

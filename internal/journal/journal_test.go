@@ -1,0 +1,118 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+// collect replays path and returns the decoded records.
+func collect(t *testing.T, path, magic, want string) ([]rec, int64, bool) {
+	t.Helper()
+	var out []rec
+	validLen, found, err := Load(path, magic, want, func(line []byte) error {
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return out, validLen, found
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path, "m1", "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec{N: i, S: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, validLen, found := collect(t, path, "m1", "fp1")
+	if !found || len(recs) != 3 || recs[2].N != 2 {
+		t.Fatalf("replay = %v found=%v", recs, found)
+	}
+	st, _ := os.Stat(path)
+	if validLen != st.Size() {
+		t.Fatalf("validLen %d != file size %d", validLen, st.Size())
+	}
+}
+
+func TestMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, found, err := Load(filepath.Join(dir, "absent"), "m", "", nil); err != nil || found {
+		t.Fatalf("missing file: found=%v err=%v", found, err)
+	}
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, nil, 0o644)
+	if _, found, err := Load(empty, "m", "", nil); err != nil || found {
+		t.Fatalf("empty file: found=%v err=%v", found, err)
+	}
+}
+
+func TestBadMagicAndFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := Create(path, "m1", "fp1")
+	w.Append(rec{N: 1})
+	w.Close()
+	if _, _, err := Load(path, "other", "", func([]byte) error { return nil }); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	_, _, err := Load(path, "m1", "fp2", func([]byte) error { return nil })
+	var fp *ErrFingerprint
+	if !errors.As(err, &fp) || fp.Got != "fp1" {
+		t.Fatalf("want ErrFingerprint with got=fp1, have %v", err)
+	}
+	// Empty want skips the check.
+	if recs, _, _ := collect(t, path, "m1", ""); len(recs) != 1 {
+		t.Fatalf("want 1 record, got %v", recs)
+	}
+}
+
+func TestTornTailTrimmedOnAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := Create(path, "m1", "fp")
+	w.Append(rec{N: 1})
+	w.Append(rec{N: 2})
+	w.Close()
+
+	// Simulate a crash mid-write: chop the final line in half.
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-5], 0o644)
+
+	recs, validLen, found := collect(t, path, "m1", "fp")
+	if !found || len(recs) != 1 || recs[0].N != 1 {
+		t.Fatalf("torn replay = %v", recs)
+	}
+
+	// Appending after OpenAppend(validLen) must yield a clean journal.
+	w2, err := OpenAppend(path, validLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(rec{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	recs, _, _ = collect(t, path, "m1", "fp")
+	if len(recs) != 2 || recs[1].N != 3 {
+		t.Fatalf("post-trim replay = %v", recs)
+	}
+}

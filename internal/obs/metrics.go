@@ -1,0 +1,102 @@
+package obs
+
+// MetricSet is the process-level counterpart of the per-run probes: a named
+// bag of monotonic counters and point-in-time gauges that long-lived
+// components (the starsimd daemon's queue, worker pool, and result cache)
+// mutate concurrently and expose over /metrics. Unlike Probe
+// implementations it is safe for concurrent use; unlike the per-run
+// counters it survives across runs.
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// MetricSet holds named counters and gauges. The zero value is ready to
+// use.
+type MetricSet struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// Add increments counter name by delta (creating it at zero first).
+func (m *MetricSet) Add(name string, delta int64) {
+	m.mu.Lock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter returns counter name (zero when never touched).
+func (m *MetricSet) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Set stores gauge name.
+func (m *MetricSet) Set(name string, v float64) {
+	m.mu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Gauge returns gauge name (zero when never set).
+func (m *MetricSet) Gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Snapshot is a consistent copy of every metric, rendered with sorted keys
+// so two identical states marshal to identical bytes.
+type Snapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot copies the current metric values under one lock acquisition.
+func (m *MetricSet) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(m.counters)),
+		Gauges:   make(map[string]float64, len(m.gauges)),
+	}
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	return s
+}
+
+// MarshalJSON implements json.Marshaler with deterministic key order
+// (encoding/json already sorts map keys; this is a consistent snapshot).
+func (m *MetricSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// Names returns the sorted counter and gauge names, for tests and text
+// renderings.
+func (m *MetricSet) Names() (counters, gauges []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.counters {
+		counters = append(counters, k)
+	}
+	for k := range m.gauges {
+		gauges = append(gauges, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	return counters, gauges
+}

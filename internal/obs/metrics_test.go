@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestMetricSetBasics(t *testing.T) {
+	var m MetricSet
+	m.Add("jobs", 1)
+	m.Add("jobs", 2)
+	m.Set("depth", 4)
+	if got := m.Counter("jobs"); got != 3 {
+		t.Fatalf("Counter = %d, want 3", got)
+	}
+	if got := m.Gauge("depth"); got != 4 {
+		t.Fatalf("Gauge = %g, want 4", got)
+	}
+	if got := m.Counter("absent"); got != 0 {
+		t.Fatalf("absent counter = %d", got)
+	}
+	c, g := m.Names()
+	if len(c) != 1 || c[0] != "jobs" || len(g) != 1 || g[0] != "depth" {
+		t.Fatalf("Names = %v %v", c, g)
+	}
+}
+
+func TestMetricSetJSONDeterministic(t *testing.T) {
+	var m MetricSet
+	m.Add("b", 2)
+	m.Add("a", 1)
+	m.Set("z", 1.5)
+	b1, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(&m)
+	if string(b1) != string(b2) {
+		t.Fatalf("marshal unstable: %s vs %s", b1, b2)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b1, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 1 || s.Counters["b"] != 2 || s.Gauges["z"] != 1.5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestMetricSetConcurrent(t *testing.T) {
+	var m MetricSet
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add("n", 1)
+				m.Set("g", float64(j))
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 8000 {
+		t.Fatalf("Counter = %d, want 8000", got)
+	}
+}

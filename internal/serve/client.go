@@ -1,0 +1,248 @@
+package serve
+
+// Client is the HTTP client for a starsimd daemon; psctl is a thin wrapper
+// around it and the façade re-exports it for library embedding.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"prioritystar/internal/obs"
+	"prioritystar/internal/spec"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	// Base is the daemon's URL root, e.g. "http://127.0.0.1:7077".
+	Base string
+	// HTTP is the underlying client; http.DefaultClient when nil.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for addr, which may be a bare host:port or a
+// full http:// URL.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response, keeping the status code inspectable.
+type apiError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *apiError) Error() string {
+	return fmt.Sprintf("daemon: %s (HTTP %d)", e.Msg, e.Code)
+}
+
+// IsQueueFull reports whether err is the daemon's 429 backpressure signal.
+func IsQueueFull(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Code == http.StatusTooManyRequests
+}
+
+// do runs one request and decodes a JSON response into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var ed errorDoc
+		if json.Unmarshal(data, &ed) == nil && ed.Error != "" {
+			return &apiError{Code: resp.StatusCode, Msg: ed.Error}
+		}
+		return &apiError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// SubmitJSON submits a raw spec document.
+func (c *Client) SubmitJSON(ctx context.Context, specJSON []byte) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(specJSON), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Submit marshals and submits a spec experiment.
+func (c *Client) Submit(ctx context.Context, e *spec.Experiment) (*JobStatus, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitJSON(ctx, b)
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel requests cancellation of a job (best effort).
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's result document, verbatim bytes. A job
+// that is still running yields an error telling the caller to wait.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusAccepted:
+		return nil, &apiError{Code: resp.StatusCode, Msg: "job still running"}
+	default:
+		return nil, &apiError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+}
+
+// Metrics fetches the daemon's metric snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &s)
+	return s, err
+}
+
+// Watch follows a job to completion over the SSE stream, invoking onEvent
+// (when non-nil) for every status update including the terminal one, and
+// returns the terminal status. If the stream breaks it falls back to
+// polling, so Watch survives daemons behind buffering proxies.
+func (c *Client) Watch(ctx context.Context, id string, onEvent func(JobStatus)) (*JobStatus, error) {
+	st, err := c.watchSSE(ctx, id, onEvent)
+	if err == nil {
+		return st, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return c.poll(ctx, id, onEvent)
+}
+
+// watchSSE consumes /events until a terminal status arrives.
+func (c *Client) watchSSE(ctx context.Context, id string, onEvent func(JobStatus)) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, &apiError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var st JobStatus
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+			return nil, fmt.Errorf("daemon: bad SSE payload: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(st)
+		}
+		if st.Terminal() {
+			return &st, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("daemon: SSE stream ended before the job finished")
+}
+
+// poll falls back to GET polling until the job is terminal.
+func (c *Client) poll(ctx context.Context, id string, onEvent func(JobStatus)) (*JobStatus, error) {
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onEvent != nil {
+			onEvent(*st)
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}

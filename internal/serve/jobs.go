@@ -1,0 +1,443 @@
+package serve
+
+// The job manager: a bounded FIFO queue feeding a fixed pool of workers,
+// with single-flight deduplication on the spec fingerprint. Submitting a
+// spec whose fingerprint is cached completes instantly from the cache;
+// submitting one that is already queued or running returns the in-flight
+// job instead of enqueueing a second simulation; everything else joins the
+// queue or — when the queue is full — is refused with errQueueFull so the
+// HTTP layer can answer 429 with a Retry-After hint.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prioritystar/internal/sweep"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	errQueueFull = errors.New("serve: job queue is full")
+	errDraining  = errors.New("serve: daemon is draining")
+)
+
+// JobStatus is the wire form of a job's state, returned by the submit,
+// get, and list endpoints and streamed over SSE.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Cached marks a submission answered from the result cache without
+	// running anything; Deduped marks one coalesced onto an in-flight job.
+	Cached  bool `json:"cached,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Done/Total track replication progress while running.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// SlotsPerSec is the executed job's simulation throughput (total
+	// simulated slots across replications over wall-clock run time).
+	SlotsPerSec float64 `json:"slotsPerSec,omitempty"`
+	Partial     bool    `json:"partial,omitempty"`
+	Error       string  `json:"error,omitempty"`
+
+	SubmittedAt string `json:"submittedAt,omitempty"`
+	StartedAt   string `json:"startedAt,omitempty"`
+	FinishedAt  string `json:"finishedAt,omitempty"`
+}
+
+// Terminal reports whether the state is final.
+func (s *JobStatus) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id          string
+	fingerprint string
+	exp         *sweep.Experiment
+	cancel      context.CancelFunc
+
+	mu     sync.Mutex
+	status JobStatus
+	result []byte
+	subs   []chan JobStatus
+}
+
+// snapshot returns a copy of the current status.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// update mutates the status under the job lock and notifies every
+// subscriber. Notification is best-effort per event: a slow subscriber
+// misses intermediate progress but always receives the terminal state
+// because terminal updates close the channel after a final send.
+func (j *job) update(fn func(*JobStatus)) {
+	j.mu.Lock()
+	fn(&j.status)
+	st := j.status
+	subs := j.subs
+	if st.Terminal() {
+		j.subs = nil
+	}
+	j.mu.Unlock()
+	for _, ch := range subs {
+		if st.Terminal() {
+			// The terminal state must arrive: make room by dropping the
+			// oldest undelivered progress event if the buffer is full.
+			for delivered := false; !delivered; {
+				select {
+				case ch <- st:
+					delivered = true
+				default:
+					select {
+					case <-ch:
+					default:
+					}
+				}
+			}
+			close(ch)
+			continue
+		}
+		select {
+		case ch <- st:
+		default: // slow subscriber: skip this progress event
+		}
+	}
+}
+
+// subscribe registers a status channel. The current status is delivered
+// first; if the job is already terminal the channel is closed immediately
+// after. The channel has room for the terminal send even when the
+// subscriber is not draining progress events.
+func (j *job) subscribe() <-chan JobStatus {
+	ch := make(chan JobStatus, 16)
+	j.mu.Lock()
+	st := j.status
+	terminal := st.Terminal()
+	if !terminal {
+		j.subs = append(j.subs, ch)
+	}
+	j.mu.Unlock()
+	ch <- st
+	if terminal {
+		close(ch)
+	}
+	return ch
+}
+
+// manager owns the queue, the workers, the single-flight table, and the
+// cache.
+type manager struct {
+	cfg   Config
+	cache *cache
+
+	mu       sync.Mutex
+	draining bool
+	seq      int
+	jobs     map[string]*job
+	order    []string        // submission order, for listing
+	active   map[string]*job // fingerprint -> queued/running job
+
+	queue   chan *job
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// newManager builds the manager and starts its workers.
+func newManager(cfg Config, c *cache) *manager {
+	m := &manager{
+		cfg:    cfg,
+		cache:  c,
+		jobs:   make(map[string]*job),
+		active: make(map[string]*job),
+		queue:  make(chan *job, cfg.QueueCap),
+	}
+	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// now returns the wall-clock timestamp format used in statuses.
+func now() string { return time.Now().UTC().Format(time.RFC3339) }
+
+// submit resolves one submission: cache hit, single-flight dedup, or a new
+// queued job. The returned status tells the caller which happened.
+func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
+	fp := exp.Fingerprint
+	if fp == "" {
+		return JobStatus{}, fmt.Errorf("serve: experiment has no fingerprint")
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return JobStatus{}, errDraining
+	}
+
+	// Content-addressed hit: answer from the cache without running.
+	if body, ok := m.cache.get(fp); ok {
+		m.cfg.Metrics.Add("cache_hits", 1)
+		j := m.newJobLocked(fp, nil)
+		j.result = body
+		j.status.State = StateDone
+		j.status.Cached = true
+		j.status.FinishedAt = j.status.SubmittedAt
+		return j.status, nil
+	}
+	m.cfg.Metrics.Add("cache_misses", 1)
+
+	// Single-flight: coalesce onto the identical in-flight job.
+	if running, ok := m.active[fp]; ok {
+		m.cfg.Metrics.Add("jobs_deduped", 1)
+		st := running.snapshot()
+		st.Deduped = true
+		return st, nil
+	}
+
+	j := m.newJobLocked(fp, exp)
+	// Copy the status before the job becomes visible to a worker: once it
+	// is on the queue a worker may mutate it concurrently.
+	st := j.status
+	select {
+	case m.queue <- j:
+	default:
+		// Queue full: drop the job record and push back.
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		return JobStatus{}, errQueueFull
+	}
+	m.active[fp] = j
+	m.cfg.Metrics.Add("jobs_queued", 1)
+	return st, nil
+}
+
+// newJobLocked allocates a job record; the caller holds m.mu.
+func (m *manager) newJobLocked(fp string, exp *sweep.Experiment) *job {
+	m.seq++
+	j := &job{
+		id:          fmt.Sprintf("j%06d", m.seq),
+		fingerprint: fp,
+		exp:         exp,
+		status: JobStatus{
+			State:       StateQueued,
+			Fingerprint: fp,
+			SubmittedAt: now(),
+		},
+	}
+	j.status.ID = j.id
+	if exp != nil {
+		j.status.Total = len(exp.Schemes) * len(exp.Rhos) * exp.Reps
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return j
+}
+
+// get returns a job by ID.
+func (m *manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list returns every job's status in submission order.
+func (m *manager) list() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.get(id); ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+// cancelJob cancels a queued or running job (best effort: a queued job is
+// canceled when a worker picks it up and finds its context dead).
+func (m *manager) cancelJob(id string) bool {
+	j, ok := m.get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	queued := j.status.State == StateQueued
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	} else if queued {
+		// Not started yet: mark so the worker skips it. The update closure
+		// re-checks the state under the job lock, so a worker that started
+		// the job in the meantime wins and keeps running.
+		canceled := false
+		j.update(func(s *JobStatus) {
+			if s.State == StateQueued {
+				s.State = StateCanceled
+				s.FinishedAt = now()
+				canceled = true
+			}
+		})
+		if canceled {
+			m.finish(j)
+		}
+	}
+	return true
+}
+
+// queueDepth reports the number of queued-but-unstarted jobs.
+func (m *manager) queueDepth() int { return len(m.queue) }
+
+// worker drains the queue until drain() closes it.
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job end to end.
+func (m *manager) run(j *job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	// Atomically claim the job; a cancel that won the race leaves it
+	// terminal and the worker just moves on.
+	started := false
+	j.update(func(s *JobStatus) {
+		if s.State == StateQueued {
+			s.State = StateRunning
+			s.StartedAt = now()
+			started = true
+		}
+	})
+	if !started {
+		return
+	}
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	m.cfg.Metrics.Add("jobs_started", 1)
+
+	exp := j.exp
+	exp.Context = ctx
+	exp.Progress = func(done, total int) {
+		j.update(func(s *JobStatus) { s.Done, s.Total = done, total })
+	}
+	if m.cfg.SlotsPerJob > 0 {
+		exp.Workers = m.cfg.SlotsPerJob
+	}
+	if m.cfg.JobTimeout > 0 && exp.Guard.Timeout == 0 {
+		exp.Guard.Timeout = m.cfg.JobTimeout
+	}
+
+	start := time.Now()
+	res, err := exp.Run()
+	elapsed := time.Since(start)
+
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		j.update(func(s *JobStatus) {
+			s.State = StateCanceled
+			s.Error = err.Error()
+			s.FinishedAt = now()
+		})
+		m.cfg.Metrics.Add("jobs_canceled", 1)
+	case err != nil:
+		j.update(func(s *JobStatus) {
+			s.State = StateFailed
+			s.Error = err.Error()
+			s.FinishedAt = now()
+		})
+		m.cfg.Metrics.Add("jobs_failed", 1)
+	default:
+		body, encErr := encodeResult(j.fingerprint, m.cfg.engine, res)
+		if encErr != nil {
+			j.update(func(s *JobStatus) {
+				s.State = StateFailed
+				s.Error = encErr.Error()
+				s.FinishedAt = now()
+			})
+			m.cfg.Metrics.Add("jobs_failed", 1)
+			break
+		}
+		if cerr := m.cache.put(j.fingerprint, body); cerr != nil && m.cfg.Logf != nil {
+			m.cfg.Logf("serve: persisting result %s: %v", j.fingerprint, cerr)
+		}
+		totalSlots := (exp.Warmup + exp.Measure + exp.Drain) *
+			int64(len(exp.Schemes)*len(exp.Rhos)*exp.Reps)
+		sps := float64(totalSlots) / elapsed.Seconds()
+		partial := false
+		for _, s := range res.Series {
+			for _, p := range s.Points {
+				if p.FailedReps > 0 || p.DivergedReps > 0 {
+					partial = true
+				}
+			}
+		}
+		j.mu.Lock()
+		j.result = body
+		j.mu.Unlock()
+		j.update(func(s *JobStatus) {
+			s.State = StateDone
+			s.SlotsPerSec = sps
+			s.Partial = partial
+			s.FinishedAt = now()
+		})
+		m.cfg.Metrics.Add("sim_runs", 1)
+		m.cfg.Metrics.Add("jobs_done", 1)
+		m.cfg.Metrics.Add("slots_simulated", totalSlots)
+		m.cfg.Metrics.Set("last_job_slots_per_sec", sps)
+	}
+	m.finish(j)
+}
+
+// finish retires the job from the single-flight table.
+func (m *manager) finish(j *job) {
+	m.mu.Lock()
+	if m.active[j.fingerprint] == j {
+		delete(m.active, j.fingerprint)
+	}
+	m.mu.Unlock()
+}
+
+// drain stops intake and waits for every accepted job — running and queued
+// — to finish, then releases the workers. Submissions after drain starts
+// get errDraining.
+func (m *manager) drain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.draining = true
+	m.mu.Unlock()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+// abort cancels every in-flight job context (used when a drain deadline
+// expires).
+func (m *manager) abort() { m.stop() }

@@ -1,0 +1,113 @@
+package serve
+
+// The result document: the byte-exact payload a job stores in the
+// content-addressed cache and GET /v1/jobs/{id}/result returns. It is a
+// deterministic flattening of sweep.Result — struct marshalling fixes the
+// key order and replications aggregate in (scheme, rho, rep) index order —
+// so running the same fingerprint twice produces the same bytes, and a
+// cache hit is indistinguishable from a fresh run.
+
+import (
+	"encoding/json"
+	"math"
+
+	"prioritystar/internal/spec"
+	"prioritystar/internal/sweep"
+)
+
+// nullFloat maps non-finite values to JSON null (encoding/json rejects NaN
+// and the infinities; a drained cell's mean can be NaN).
+type nullFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f nullFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// PointDoc is one (scheme, rho) cell of a result document.
+type PointDoc struct {
+	Rho        float64     `json:"rho"`
+	Reception  nullFloat   `json:"reception"`
+	Broadcast  nullFloat   `json:"broadcast"`
+	Unicast    nullFloat   `json:"unicast"`
+	HighWait   nullFloat   `json:"highWait"`
+	LowWait    nullFloat   `json:"lowWait"`
+	AvgUtil    nullFloat   `json:"avgUtil"`
+	MaxDimUtil nullFloat   `json:"maxDimUtil"`
+	DimUtil    []nullFloat `json:"dimUtil,omitempty"`
+	// ReceptionCI is the 95% confidence half-width of the reception mean.
+	ReceptionCI nullFloat `json:"receptionCI"`
+
+	GeneratedBroadcasts  int64  `json:"generatedBroadcasts"`
+	IncompleteBroadcasts int64  `json:"incompleteBroadcasts"`
+	UnstableReps         int    `json:"unstableReps,omitempty"`
+	DivergedReps         int    `json:"divergedReps,omitempty"`
+	FailedReps           int    `json:"failedReps,omitempty"`
+	Error                string `json:"error,omitempty"`
+}
+
+// SeriesDoc is one scheme's curve.
+type SeriesDoc struct {
+	Scheme string     `json:"scheme"`
+	Points []PointDoc `json:"points"`
+}
+
+// ResultDoc is the complete result payload for one job.
+type ResultDoc struct {
+	Fingerprint string           `json:"fingerprint"`
+	Engine      string           `json:"engine"`
+	Spec        *spec.Experiment `json:"spec"`
+	Series      []SeriesDoc      `json:"series"`
+	// Partial is true when any cell had failed or diverged replications —
+	// the same condition that makes starsim exit non-zero.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// encodeResult flattens a completed sweep into the canonical result bytes.
+func encodeResult(fingerprint, engine string, res *sweep.Result) ([]byte, error) {
+	doc := ResultDoc{
+		Fingerprint: fingerprint,
+		Engine:      engine,
+		Spec:        spec.FromSweep(res.Exp),
+	}
+	for _, s := range res.Series {
+		sd := SeriesDoc{Scheme: s.Scheme.Name}
+		for _, p := range s.Points {
+			pd := PointDoc{
+				Rho:         p.Rho,
+				Reception:   nullFloat(p.Reception.Mean()),
+				Broadcast:   nullFloat(p.Broadcast.Mean()),
+				Unicast:     nullFloat(p.Unicast.Mean()),
+				HighWait:    nullFloat(p.HighWait.Mean()),
+				LowWait:     nullFloat(p.LowWait.Mean()),
+				AvgUtil:     nullFloat(p.AvgUtil.Mean()),
+				MaxDimUtil:  nullFloat(p.MaxDimUtil.Mean()),
+				ReceptionCI: nullFloat(p.Reception.HalfWidth95()),
+
+				GeneratedBroadcasts:  p.GeneratedBroadcasts,
+				IncompleteBroadcasts: p.IncompleteBroadcasts,
+				UnstableReps:         p.UnstableReps,
+				DivergedReps:         p.DivergedReps,
+				FailedReps:           p.FailedReps,
+				Error:                p.Error,
+			}
+			for i := range p.DimUtil {
+				pd.DimUtil = append(pd.DimUtil, nullFloat(p.DimUtil[i].Mean()))
+			}
+			if p.FailedReps > 0 || p.DivergedReps > 0 {
+				doc.Partial = true
+			}
+			sd.Points = append(sd.Points, pd)
+		}
+		doc.Series = append(doc.Series, sd)
+	}
+	// No trailing newline: these bytes are embedded as a json.RawMessage in
+	// the cache journal, whose round-trip compacts whitespace — the bytes
+	// must survive persist/reload unchanged for cache hits to stay
+	// byte-identical across restarts.
+	return json.Marshal(doc)
+}

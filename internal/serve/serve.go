@@ -1,0 +1,358 @@
+// Package serve is the simulation-as-a-service layer: a long-lived HTTP
+// daemon (cmd/starsimd) that accepts experiment specs as jobs, runs them on
+// a bounded worker pool with FIFO queueing and explicit backpressure, and
+// answers repeated submissions from a content-addressed result cache keyed
+// by spec.Fingerprint — identical requests are balanced across workers and
+// served from steady-state (cached) results instead of recomputed.
+//
+// API surface (all JSON):
+//
+//	POST   /v1/jobs            submit a spec; 200 cached / 202 accepted /
+//	                           400 bad spec / 429 queue full (Retry-After) /
+//	                           503 draining
+//	GET    /v1/jobs            list jobs in submission order
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/result the result document (202 while running)
+//	GET    /v1/jobs/{id}/events SSE status stream (progress + terminal)
+//	DELETE /v1/jobs/{id}        cancel (best effort)
+//	GET    /metrics            obs.MetricSet snapshot
+//	GET    /healthz            liveness
+//	GET    /readyz             readiness (503 while draining)
+//
+// Graceful drain: Shutdown (SIGTERM in starsimd) stops intake, finishes
+// every accepted job, persists the cache, then returns.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"prioritystar/internal/obs"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/spec"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address; ":0" picks a free port (see Server.Addr).
+	Addr string
+	// Workers bounds concurrently running jobs. Default 2.
+	Workers int
+	// QueueCap bounds queued-but-unstarted jobs; a full queue answers 429.
+	// Default 16.
+	QueueCap int
+	// SlotsPerJob caps each job's internal sweep parallelism
+	// (sweep.Experiment.Workers); 0 keeps the sweep default (GOMAXPROCS).
+	SlotsPerJob int
+	// CachePath persists the result cache as a JSONL journal; empty keeps
+	// it in memory only.
+	CachePath string
+	// JobTimeout arms a wall-clock guard on jobs that do not set their own;
+	// 0 leaves them unguarded.
+	JobTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// Metrics receives the daemon's counters and gauges; a fresh set is
+	// allocated when nil.
+	Metrics *obs.MetricSet
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// engine is the version folded into cache keys; fixed to
+	// sim.EngineVersion, overridable only by tests.
+	engine string
+}
+
+// Server is a running (or startable) daemon.
+type Server struct {
+	cfg Config
+	mgr *manager
+	mux *http.ServeMux
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// New validates the config, loads the cache, and starts the worker pool.
+// The HTTP listener starts on Start; Handler is usable immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &obs.MetricSet{}
+	}
+	if cfg.engine == "" {
+		cfg.engine = sim.EngineVersion
+	}
+	c, err := openCache(cfg.CachePath, cfg.engine)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening result cache: %w", err)
+	}
+	s := &Server{cfg: cfg, mgr: newManager(cfg, c)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler, for embedding in an existing
+// server or for tests.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the listen address and serves in the background until
+// Shutdown. It returns the bound address (useful with ":0").
+func (s *Server) Start() (string, error) {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:7077"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln)
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("serve: listening on %s", ln.Addr())
+	}
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the daemon: intake stops (submissions get 503), every
+// accepted job — running and queued — completes and lands in the cache,
+// the cache journal is closed, and the HTTP server stops. If ctx expires
+// first, in-flight job contexts are canceled so their simulations stop at
+// the next poll, and Shutdown returns ctx's error after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.mgr.drain()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mgr.abort()
+		<-done
+	}
+	if cerr := s.mgr.cache.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if s.http != nil {
+		hctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if herr := s.http.Shutdown(hctx); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	return err
+}
+
+// Job returns a job's current status (for embedding and tests).
+func (s *Server) Job(id string) (JobStatus, bool) {
+	j, ok := s.mgr.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []JobStatus { return s.mgr.list() }
+
+// Metrics returns the daemon's metric set.
+func (s *Server) Metrics() *obs.MetricSet { return s.cfg.Metrics }
+
+// Submit enqueues (or answers from cache) a decoded experiment; the
+// library-embedding twin of POST /v1/jobs. The experiment is fingerprinted
+// here if the caller has not stamped it.
+func (s *Server) Submit(e *spec.Experiment) (JobStatus, error) {
+	exp, err := e.ToSweep()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if err := spec.Stamp(exp); err != nil {
+		return JobStatus{}, err
+	}
+	if err := exp.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	return s.mgr.submit(exp)
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// errorDoc is the JSON error body.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var e spec.Experiment
+	if err := dec.Decode(&e); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding spec: %v", err)})
+		return
+	}
+	st, err := s.Submit(&e)
+	switch {
+	case err == nil:
+	case err == errQueueFull:
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
+		return
+	case err == errDraining:
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if st.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: s.mgr.list()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	st := j.snapshot()
+	if !st.Terminal() {
+		writeJSON(w, http.StatusAccepted, st) // not ready yet; poll again
+		return
+	}
+	j.mu.Lock()
+	body := j.result
+	j.mu.Unlock()
+	if st.State != StateDone || body == nil {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	// The cached bytes verbatim: byte-identical across hits and restarts.
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Fingerprint", st.Fingerprint)
+	w.Write(body)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errorDoc{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch := j.subscribe()
+	for {
+		select {
+		case st, open := <-ch:
+			if !open {
+				return
+			}
+			b, _ := json.Marshal(st)
+			fmt.Fprintf(w, "event: status\ndata: %s\n\n", b)
+			fl.Flush()
+			if st.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.mgr.cancelJob(id) {
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown job"})
+		return
+	}
+	j, _ := s.mgr.get(id)
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.cfg.Metrics
+	m.Set("queue_depth", float64(s.mgr.queueDepth()))
+	m.Set("cache_entries", float64(s.mgr.cache.len()))
+	m.Set("inflight", float64(m.Counter("jobs_started")-
+		m.Counter("jobs_done")-m.Counter("jobs_failed")-m.Counter("jobs_canceled")))
+	writeJSON(w, http.StatusOK, m.Snapshot())
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mgr.mu.Lock()
+	draining := s.mgr.draining
+	s.mgr.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "draining"})
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -48,6 +48,13 @@ import (
 	"prioritystar/internal/traffic"
 )
 
+// EngineVersion names the simulation semantics: any change that alters the
+// trajectory or the measured statistics of a fixed (config, seed) pair must
+// bump it. It is folded into spec.Fingerprint, so bumping it invalidates
+// the daemon's content-addressed result cache and old checkpoint journals
+// instead of letting stale results masquerade as current ones.
+const EngineVersion = "prioritystar-sim/1"
+
 // wheelSize is the timing-wheel span; packet service times are clamped to
 // wheelSize-1 slots (Result.ClampedLengths counts occurrences, which are
 // astronomically rare for the geometric lengths used by the experiments).

@@ -45,6 +45,10 @@ type Experiment struct {
 	Drain         int64     `json:"drain"`
 	Reps          int       `json:"reps"`
 	Seed          uint64    `json:"seed"`
+	// MaxBacklog truncates a run whose queued-packet total exceeds it (0
+	// keeps the engine default). It changes measured results, so it is part
+	// of the spec and of Fingerprint.
+	MaxBacklog int64 `json:"maxBacklog,omitempty"`
 
 	// Faults is a fault-schedule description in the -faults CLI syntax
 	// (e.g. "perm:2,trans:500/50,seed:7"); empty means a fault-free run.
@@ -119,7 +123,7 @@ func (e *Experiment) ToSweep() (*sweep.Experiment, error) {
 		ID: e.ID, Title: e.Title, Notes: e.Notes,
 		Dims: e.Dims, Rhos: e.Rhos, BroadcastFrac: e.BroadcastFrac,
 		Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
-		Reps: e.Reps, BaseSeed: e.Seed,
+		Reps: e.Reps, BaseSeed: e.Seed, MaxBacklog: e.MaxBacklog,
 	}
 	for _, s := range e.Schemes {
 		spec, err := s.resolve()
@@ -192,7 +196,7 @@ func FromSweep(e *sweep.Experiment) *Experiment {
 		ID: e.ID, Title: e.Title, Notes: e.Notes,
 		Dims: e.Dims, Rhos: e.Rhos, BroadcastFrac: e.BroadcastFrac,
 		Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
-		Reps: e.Reps, Seed: e.BaseSeed,
+		Reps: e.Reps, Seed: e.BaseSeed, MaxBacklog: e.MaxBacklog,
 	}
 	for _, s := range e.Schemes {
 		out.Schemes = append(out.Schemes, Scheme{

@@ -1,22 +1,24 @@
 package sweep
 
-// Crash-resilient sweep checkpoints. A journal is a JSONL file: a header
-// line carrying a fingerprint of the experiment, then one line per completed
-// replication with every per-rep value the aggregation step consumes. A
-// sweep run with Checkpoint set appends each replication as it completes
-// (flushed per line, so a killed process loses at most the line being
-// written); a run with Resume set replays the journal first and only
-// simulates the replications it does not cover. Because aggregation is
-// order-deterministic over (scheme, rho, rep) — never over completion order
-// — a resumed sweep produces the exact table an uninterrupted one would.
+// Crash-resilient sweep checkpoints, built on the shared JSONL journal
+// machinery in internal/journal: a header line carrying the experiment's
+// fingerprint, then one line per completed replication with every per-rep
+// value the aggregation step consumes. A sweep run with Checkpoint set
+// appends each replication as it completes (flushed per line, so a killed
+// process loses at most the line being written); a run with Resume set
+// replays the journal first and only simulates the replications it does not
+// cover. Because aggregation is order-deterministic over (scheme, rho, rep)
+// — never over completion order — a resumed sweep produces the exact table
+// an uninterrupted one would.
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
-	"os"
 	"strings"
+
+	journalpkg "prioritystar/internal/journal"
 )
 
 // journalMagic identifies sweep checkpoint journals.
@@ -49,12 +51,6 @@ func (f *jsonFloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// journalHeader is the first line of a checkpoint journal.
-type journalHeader struct {
-	Magic       string `json:"journal"`
-	Fingerprint string `json:"fingerprint"`
-}
-
 // repRecord is one completed replication: everything aggregation needs, so
 // a resumed sweep never re-runs the simulation behind it.
 type repRecord struct {
@@ -81,8 +77,14 @@ type repRecord struct {
 
 // fingerprint identifies the experiment a journal belongs to: resuming with
 // a different grid, scheme list, seed, or fault schedule must error rather
-// than silently mix results.
+// than silently mix results. When the caller stamped a canonical fingerprint
+// on the experiment (spec.Fingerprint does; starsim and the daemon stamp
+// it), that is used verbatim; otherwise a legacy descriptor string is
+// derived from the fields.
 func (e *Experiment) fingerprint() string {
+	if e.Fingerprint != "" {
+		return e.Fingerprint
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "id=%s dims=%v rhos=%v frac=%g reps=%d seed=%d w=%d m=%d d=%d mb=%d len=%g model=%d",
 		e.ID, e.Dims, e.Rhos, e.BroadcastFrac, e.Reps, e.BaseSeed,
@@ -94,68 +96,33 @@ func (e *Experiment) fingerprint() string {
 	return b.String()
 }
 
-// journal appends repRecords to a checkpoint file, flushing per record.
+// journal adapts the shared writer to the sweep-local record type.
 type journal struct {
-	f *os.File
-	w *bufio.Writer
+	w *journalpkg.Writer
 }
+
+func (j *journal) append(rec repRecord) error { return j.w.Append(rec) }
+
+func (j *journal) close() error { return j.w.Close() }
 
 // createJournal truncates (or creates) path and writes the header line.
 func createJournal(path, fingerprint string) (*journal, error) {
-	f, err := os.Create(path)
+	j, err := journalpkg.Create(path, journalMagic, fingerprint)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: creating checkpoint: %w", err)
 	}
-	j := &journal{f: f, w: bufio.NewWriter(f)}
-	if err := j.appendLine(journalHeader{Magic: journalMagic, Fingerprint: fingerprint}); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return j, nil
+	return &journal{w: j}, nil
 }
 
 // openJournalAppend opens an existing journal for appending new records,
 // first truncating it to validLen so a torn final line from the crash does
 // not swallow the next record written after it.
 func openJournalAppend(path string, validLen int64) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	j, err := journalpkg.OpenAppend(path, validLen)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: opening checkpoint: %w", err)
 	}
-	if err := f.Truncate(validLen); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: trimming torn checkpoint tail: %w", err)
-	}
-	if _, err := f.Seek(validLen, 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sweep: seeking checkpoint: %w", err)
-	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, nil
-}
-
-func (j *journal) appendLine(v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("sweep: encoding checkpoint record: %w", err)
-	}
-	if _, err := j.w.Write(b); err != nil {
-		return err
-	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		return err
-	}
-	// One flush per record: a crash loses at most the record in flight.
-	return j.w.Flush()
-}
-
-func (j *journal) append(rec repRecord) error { return j.appendLine(rec) }
-
-func (j *journal) close() error {
-	if err := j.w.Flush(); err != nil {
-		j.f.Close()
-		return err
-	}
-	return j.f.Close()
+	return &journal{w: j}, nil
 }
 
 // loadJournal replays a checkpoint file. It verifies the header fingerprint
@@ -166,39 +133,24 @@ func (j *journal) close() error {
 // corrupt the first record a resumed sweep writes. A missing file is not an
 // error: the sweep simply starts from scratch.
 func loadJournal(path, fingerprint string) (recs map[repKey]repRecord, validLen int64, found bool, err error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, 0, false, nil
-	}
-	if err != nil {
-		return nil, 0, false, fmt.Errorf("sweep: opening checkpoint: %w", err)
-	}
-	defer f.Close()
-
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	if !sc.Scan() {
-		return nil, 0, false, nil // empty file: treat as absent
-	}
-	var hdr journalHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != journalMagic {
-		return nil, 0, false, fmt.Errorf("sweep: %s is not a sweep checkpoint journal", path)
-	}
-	if hdr.Fingerprint != fingerprint {
+	recs = make(map[repKey]repRecord)
+	validLen, found, err = journalpkg.Load(path, journalMagic, fingerprint, func(line []byte) error {
+		var rec repRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err // torn tail from a crash: keep what we have
+		}
+		recs[repKey{rec.Scheme, rec.Rho, rec.Rep}] = rec
+		return nil
+	})
+	var fpErr *journalpkg.ErrFingerprint
+	if errors.As(err, &fpErr) {
 		return nil, 0, false, fmt.Errorf("sweep: checkpoint %s belongs to a different experiment (fingerprint mismatch); delete it or drop -resume", path)
 	}
-	validLen = int64(len(sc.Bytes())) + 1
-	recs = make(map[repKey]repRecord)
-	for sc.Scan() {
-		var rec repRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			break // torn tail from a crash: keep what we have
-		}
-		validLen += int64(len(sc.Bytes())) + 1
-		recs[repKey{rec.Scheme, rec.Rho, rec.Rep}] = rec
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("sweep: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, 0, false, fmt.Errorf("sweep: reading checkpoint: %w", err)
+	if !found {
+		return nil, 0, false, nil
 	}
 	return recs, validLen, true, nil
 }

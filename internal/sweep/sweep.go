@@ -102,6 +102,14 @@ type Experiment struct {
 	// at their next poll and Run returns the context's error.
 	Context context.Context
 
+	// Fingerprint, when non-empty, is the canonical identity of this
+	// experiment: it names the checkpoint journal's header and the daemon's
+	// result-cache key. spec.Fingerprint computes the canonical value (a
+	// hash over the key-order-stable JSON spec plus the engine version);
+	// when empty a legacy descriptor string derived from the fields is used
+	// for the journal header.
+	Fingerprint string
+
 	// Checkpoint, when non-empty, journals each completed replication to
 	// this JSONL file so a crashed or killed sweep can be resumed.
 	Checkpoint string
@@ -117,6 +125,11 @@ type Experiment struct {
 	// need no locking; long sweeps use it for live progress display.
 	Progress func(done, total int)
 }
+
+// Validate checks the experiment without running it; Run calls it first.
+// The service layer uses it to reject bad submissions at the door instead
+// of burning a worker slot on them.
+func (e *Experiment) Validate() error { return e.validate() }
 
 func (e *Experiment) validate() error {
 	if len(e.Dims) == 0 {

@@ -36,7 +36,9 @@ import (
 	"prioritystar/internal/fault"
 	"prioritystar/internal/finite"
 	"prioritystar/internal/obs"
+	"prioritystar/internal/serve"
 	"prioritystar/internal/sim"
+	"prioritystar/internal/spec"
 	"prioritystar/internal/static"
 	"prioritystar/internal/sweep"
 	"prioritystar/internal/torus"
@@ -353,3 +355,54 @@ type (
 // dateline rule keeps wraparound rings deadlock-free; with VCs = 1 the
 // engine detects the classical store-and-forward deadlock.
 func SimulateFinite(cfg FiniteConfig) (*FiniteResult, error) { return finite.Run(cfg) }
+
+// Service layer (the starsimd daemon and its client; see internal/serve).
+type (
+	// ServerConfig tunes the simulation-as-a-service daemon.
+	ServerConfig = serve.Config
+	// Server is the daemon: worker pool, FIFO job queue with backpressure,
+	// and a content-addressed result cache keyed by spec fingerprints.
+	Server = serve.Server
+	// ServeClient talks to a running daemon over HTTP.
+	ServeClient = serve.Client
+	// JobStatus is one job's wire-format status.
+	JobStatus = serve.JobStatus
+	// ExperimentSpec is the portable JSON experiment document shared by
+	// spec files, the daemon API, and psctl.
+	ExperimentSpec = spec.Experiment
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = serve.StateQueued
+	JobRunning  = serve.StateRunning
+	JobDone     = serve.StateDone
+	JobFailed   = serve.StateFailed
+	JobCanceled = serve.StateCanceled
+)
+
+// EngineVersion identifies the simulation engine's result semantics; it is
+// folded into every spec fingerprint, so bumping it invalidates caches.
+const EngineVersion = sim.EngineVersion
+
+// NewServer builds a daemon from cfg: the cache is loaded and the worker
+// pool starts immediately; call Start to bind the HTTP listener (or
+// Handler to embed it).
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServeClient builds a client for a daemon at addr (host:port or URL).
+func NewServeClient(addr string) *ServeClient { return serve.NewClient(addr) }
+
+// IsQueueFull reports whether a client error is the daemon's 429
+// backpressure signal, so callers can retry with a delay.
+func IsQueueFull(err error) bool { return serve.IsQueueFull(err) }
+
+// Fingerprint returns the experiment's content address: a hash of the
+// canonical spec document plus EngineVersion that identifies what a
+// simulation will compute. Labels (ID, Title, Notes) and execution knobs
+// (Workers, Checkpoint, Progress, wall-clock timeouts) do not affect it.
+func Fingerprint(e *Experiment) (string, error) { return spec.Fingerprint(e) }
+
+// SpecFromExperiment converts a resolved experiment to its portable spec
+// document (for submission to a daemon or saving to a file).
+func SpecFromExperiment(e *Experiment) *ExperimentSpec { return spec.FromSweep(e) }
