@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all help check build vet test race lint smoke-faults smoke-serve fuzz bench bench-json cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve fuzz bench bench-json cover figures figures-quick report examples clean
 
 all: build vet test race
 
 # The tier-1 gate: exactly what CI must keep green, plus a faulted smoke
-# sweep proving the robustness path stays wired end to end and a daemon
-# smoke proving submit/cache/drain work over a real socket.
-check: vet build test smoke-faults smoke-serve
+# sweep proving the robustness path stays wired end to end, a daemon smoke
+# proving submit/cache/drain work over a real socket, and the chaos suite
+# proving crash recovery (SIGKILL + torn journals) under the race detector.
+check: vet build test smoke-faults smoke-serve chaos
 
 help:
 	@echo "Targets:"
@@ -17,6 +18,8 @@ help:
 	@echo "  vet           go vet ./..."
 	@echo "  test          go test ./..."
 	@echo "  race          race detector over the shared-state packages"
+	@echo "  chaos         crash-recovery suite under -race: WAL replay, torn"
+	@echo "                journals, quarantine, client retries, SIGKILL+restart"
 	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
 	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
 	@echo "  smoke-serve   starsimd daemon round trip: submit, cache hit, drain"
@@ -34,9 +37,16 @@ help:
 
 # The race detector over the packages with shared state (parallel sweeps,
 # lazy per-shape link tables, pooled runners, fault timelines, the daemon's
-# worker pool and cache).
+# worker pool, cache, and journals).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal
+
+# The chaos harness under the race detector: lenient journal loading, WAL
+# replay and quarantine, client retry/backoff, and the subprocess suite
+# that SIGKILLs a real daemon mid-job, tears its journals, and restarts it.
+chaos:
+	$(GO) test -race -run 'Chaos|Crash|Torn|Quarantine|Recovery|Retry|Lenient|WAL|Poison|SetSync|Cache' \
+		./internal/journal ./internal/serve ./cmd/starsimd
 
 # Static analysis: vet always; staticcheck only when installed (the build
 # image does not ship it — skip with a note rather than fail).

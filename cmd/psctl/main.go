@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"prioritystar/internal/cli"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/serve"
 	"prioritystar/internal/spec"
 )
@@ -59,6 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 	c := serve.NewClient(*addr)
+	c.Metrics = &obs.MetricSet{} // counts client-side retries/reconnects
 	ctx := context.Background()
 	var err error
 	switch cmd := args[0]; cmd {
@@ -97,9 +99,12 @@ func main() {
 			return printJSON(st)
 		})
 	case "metrics":
-		var snap any
-		snap, err = c.Metrics(ctx)
+		var snap obs.Snapshot
+		snap, err = c.MetricsSnapshot(ctx)
 		if err == nil {
+			// Fold the client's own counters (retries, reconnects) into the
+			// daemon snapshot so one document shows both ends.
+			snap.Merge(c.Metrics.Snapshot())
 			err = printJSON(snap)
 		}
 	default:
@@ -219,9 +224,14 @@ func watch(ctx context.Context, c *serve.Client, id string) error {
 		if st.Partial {
 			fmt.Fprintf(os.Stderr, "job %s done (partial: some replications failed or diverged)\n", st.ID)
 		}
+		if st.ResumedReps > 0 {
+			fmt.Fprintf(os.Stderr, "job %s resumed %d checkpointed replication(s)\n", st.ID, st.ResumedReps)
+		}
 		return nil
 	case serve.StateCanceled:
 		return fmt.Errorf("job %s was canceled", st.ID)
+	case serve.StateQuarantined:
+		return fmt.Errorf("job %s was quarantined after %d attempt(s): %s", st.ID, st.Attempt, st.Error)
 	default:
 		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
@@ -237,7 +247,7 @@ func cmdList(ctx context.Context, c *serve.Client) error {
 		fmt.Println("no jobs")
 		return nil
 	}
-	fmt.Printf("%-10s %-9s %-12s %-7s %s\n", "ID", "STATE", "PROGRESS", "CACHED", "FINGERPRINT")
+	fmt.Printf("%-10s %-12s %-12s %-7s %s\n", "ID", "STATE", "PROGRESS", "CACHED", "FINGERPRINT")
 	for _, j := range jobs {
 		prog := "-"
 		if j.Total > 0 {
@@ -247,7 +257,7 @@ func cmdList(ctx context.Context, c *serve.Client) error {
 		if j.Cached {
 			cached = "yes"
 		}
-		fmt.Printf("%-10s %-9s %-12s %-7s %s\n", j.ID, j.State, prog, cached, j.Fingerprint)
+		fmt.Printf("%-10s %-12s %-12s %-7s %s\n", j.ID, j.State, prog, cached, j.Fingerprint)
 	}
 	return nil
 }

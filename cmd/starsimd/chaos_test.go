@@ -1,0 +1,412 @@
+package main
+
+// Subprocess chaos suite: boots the real daemon binary, SIGKILLs it
+// mid-job, corrupts what the crash left on disk (torn WAL and cache
+// tails), restarts on the same address, and asserts the durability
+// contract end to end: every accepted job reaches a terminal state, the
+// resumed sweep re-runs zero already-checkpointed replications, cached
+// results stay byte-identical, and a client watching over SSE across the
+// crash never notices.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"prioritystar/internal/serve"
+)
+
+// buildDaemon compiles starsimd once per test binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "starsimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building starsimd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one running starsimd subprocess.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	log  string
+}
+
+// startDaemon boots the binary and waits for it to bind. addr "" asks for
+// a free port; pass a previous daemon's address to rebind it.
+func startDaemon(t *testing.T, bin, dir, addr string, extra ...string) *daemon {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr.%d", time.Now().UnixNano()))
+	logPath := filepath.Join(dir, fmt.Sprintf("daemon.%d.log", time.Now().UnixNano()))
+	logF, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logF.Close()
+	args := append([]string{
+		"-addr", addr, "-addr-file", addrFile,
+		"-workers", "1", "-slots-per-job", "1",
+		"-wal", filepath.Join(dir, "jobs.wal"),
+		"-cache", filepath.Join(dir, "cache.jsonl"),
+		"-retry-backoff", "50ms",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = logF
+	cmd.Stdout = logF
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	d := &daemon{cmd: cmd, log: logPath}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(bytes.TrimSpace(b)) > 0 {
+			d.addr = string(bytes.TrimSpace(b))
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	out, _ := os.ReadFile(logPath)
+	t.Fatalf("daemon never bound an address; log:\n%s", out)
+	return nil
+}
+
+// sigkill slams the daemon dead — no drain, no cleanup.
+func (d *daemon) sigkill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// sigterm asks for a graceful drain and waits for a clean exit.
+func (d *daemon) sigterm(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Wait(); err != nil {
+		out, _ := os.ReadFile(d.log)
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v\nlog:\n%s", err, out)
+	}
+}
+
+// patientClient tolerates the restart gap between kill and rebind.
+func patientClient(addr string) *serve.Client {
+	c := serve.NewClient(addr)
+	c.Retry = serve.RetryPolicy{MaxRetries: 30, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	return c
+}
+
+// slowSweepSpec is a ~20-replication sweep, serialized by -slots-per-job 1
+// so checkpoint records land one at a time — plenty of window to SIGKILL
+// mid-job.
+func slowSweepSpec() []byte {
+	return []byte(`{
+		"id": "chaos-slow", "dims": [8, 8], "rhos": [0.3],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 100, "measure": 20000, "drain": 100,
+		"reps": 20, "seed": 7
+	}`)
+}
+
+func quickSpec(seed int) []byte {
+	return []byte(fmt.Sprintf(`{
+		"id": "chaos-quick", "dims": [4, 4], "rhos": [0.3],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 50, "measure": 400, "drain": 100,
+		"reps": 2, "seed": %d
+	}`, seed))
+}
+
+// readCheckpoint parses a sweep checkpoint journal, ignoring the header and
+// any torn final line, and returns the (scheme,rho,rep) key of every intact
+// record.
+func readCheckpoint(t *testing.T, path string) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading checkpoint: %v", err)
+	}
+	var keys []string
+	for i, line := range strings.Split(string(b), "\n") {
+		if i == 0 || strings.TrimSpace(line) == "" {
+			continue // header / trailing newline
+		}
+		var rec struct {
+			S   int `json:"s"`
+			R   int `json:"r"`
+			Rep int `json:"rep"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue // torn tail from the kill
+		}
+		keys = append(keys, fmt.Sprintf("%d/%d/%d", rec.S, rec.R, rec.Rep))
+	}
+	return keys
+}
+
+// appendGarbage simulates a torn write at the very end of a journal.
+func appendGarbage(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("tearing %s: %v", path, err)
+	}
+	if _, err := f.WriteString(`{"truncated`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestCrashRecoveryEndToEnd is the full chaos walk: submit a long job and
+// two queued ones, SIGKILL the daemon mid-sweep, tear the WAL and cache
+// tails, restart on the same port, and require every job to finish — the
+// long one resuming from its checkpoint without re-simulating a single
+// completed replication — while a Watch started before the crash rides
+// straight through it.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	d1 := startDaemon(t, bin, dir, "")
+	c := patientClient(d1.addr)
+
+	// One slow job (starts immediately on the single worker) and two quick
+	// ones stuck behind it in the queue.
+	slow, err := c.SubmitJSON(ctx, slowSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := c.SubmitJSON(ctx, quickSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.SubmitJSON(ctx, quickSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch a queued job over SSE, across the crash, from a goroutine.
+	type watchOut struct {
+		st  *serve.JobStatus
+		err error
+	}
+	watched := make(chan watchOut, 1)
+	go func() {
+		st, err := c.Watch(ctx, q1.ID, nil)
+		watched <- watchOut{st, err}
+	}()
+
+	// Wait until the slow sweep has durably checkpointed a few
+	// replications, then SIGKILL mid-job.
+	ckpt := filepath.Join(dir, "jobs.wal.d", slow.Fingerprint+".jsonl")
+	deadline := time.Now().Add(60 * time.Second)
+	for len(readCheckpointQuiet(ckpt)) < 3 {
+		if time.Now().After(deadline) {
+			out, _ := os.ReadFile(d1.log)
+			t.Fatalf("sweep never checkpointed 3 replications; log:\n%s", out)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d1.sigkill(t)
+
+	// What the crash left behind: the intact checkpoint prefix is exactly
+	// the set of replications the resumed job must NOT re-simulate.
+	doneAtCrash := readCheckpoint(t, ckpt)
+	seen := map[string]bool{}
+	for _, k := range doneAtCrash {
+		if seen[k] {
+			t.Fatalf("checkpoint recorded replication %s twice", k)
+		}
+		seen[k] = true
+	}
+
+	// Corrupt the journals the way a dying machine would: torn tails.
+	appendGarbage(t, filepath.Join(dir, "jobs.wal"))
+	appendGarbage(t, filepath.Join(dir, "cache.jsonl"))
+
+	// Restart on the same address; the watcher's retry loop bridges the gap.
+	d2 := startDaemon(t, bin, dir, d1.addr)
+
+	// Every accepted job must reach done, under its pre-crash ID.
+	for _, id := range []string{slow.ID, q1.ID, q2.ID} {
+		st, err := c.Watch(ctx, id, nil)
+		if err != nil {
+			out, _ := os.ReadFile(d2.log)
+			t.Fatalf("watch %s after restart: %v\nlog:\n%s", id, err, out)
+		}
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s ended %q (err %q), want done", id, st.State, st.Error)
+		}
+	}
+
+	// The pre-crash watcher rode through the restart.
+	select {
+	case w := <-watched:
+		if w.err != nil {
+			t.Fatalf("pre-crash watch broke: %v", w.err)
+		}
+		if w.st.State != serve.StateDone {
+			t.Fatalf("pre-crash watch ended %q", w.st.State)
+		}
+	case <-ctx.Done():
+		t.Fatal("pre-crash watch never finished")
+	}
+
+	// The resumed sweep replayed every checkpointed replication instead of
+	// re-simulating it.
+	slowFinal, err := c.Get(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFinal.ResumedReps != len(doneAtCrash) {
+		t.Fatalf("resumedReps = %d, want %d (the checkpointed replications at crash time)",
+			slowFinal.ResumedReps, len(doneAtCrash))
+	}
+	if slowFinal.ResumedReps < 3 {
+		t.Fatalf("resumedReps = %d, want >= 3", slowFinal.ResumedReps)
+	}
+
+	// Recovery is visible in the metrics.
+	snap, err := c.MetricsSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["jobs_recovered"]; got != 3 {
+		t.Fatalf("jobs_recovered = %d, want 3", got)
+	}
+
+	// Resubmitting the slow spec hits the cache, byte-identically.
+	body1, err := c.Result(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := c.SubmitJSON(ctx, slowSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Cached {
+		t.Fatalf("resubmission after recovery not cached: %+v", re)
+	}
+	body2, err := c.Result(ctx, re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("recovered result is not byte-identical to its cache hit")
+	}
+
+	// And the survivor still drains cleanly.
+	d2.sigterm(t)
+}
+
+// TestPoisonJobQuarantinedAcrossRestarts: a job that fails every attempt is
+// quarantined rather than crash-looping, and a restarted daemon keeps it
+// quarantined instead of retrying it forever.
+func TestPoisonJobQuarantinedAcrossRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	d1 := startDaemon(t, bin, dir, "", "-retry-budget", "1")
+	c := patientClient(d1.addr)
+
+	// More random link faults than a 4x4 torus has links: fails in the
+	// sweep on every attempt.
+	poison := []byte(`{
+		"id": "chaos-poison", "dims": [4, 4], "rhos": [0.3],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 10, "measure": 100, "drain": 10,
+		"reps": 1, "seed": 3,
+		"faults": "perm:999"
+	}`)
+	st, err := c.SubmitJSON(ctx, poison)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateQuarantined {
+		t.Fatalf("poison job ended %q, want quarantined", final.State)
+	}
+
+	// Restart: the quarantined terminal state must not come back to life.
+	d1.sigkill(t)
+	d2 := startDaemon(t, bin, dir, d1.addr, "-retry-budget", "1")
+	jobs, err := c.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.ID == st.ID {
+			t.Fatalf("quarantined job %s resurrected as %q after restart", j.ID, j.State)
+		}
+	}
+	snap, err := c.MetricsSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["jobs_recovered"]; got != 0 {
+		t.Fatalf("jobs_recovered = %d, want 0 (only a terminal job was in the WAL)", got)
+	}
+	d2.sigterm(t)
+}
+
+// readCheckpointQuiet is readCheckpoint without the test dependency, for
+// polling before the file exists.
+func readCheckpointQuiet(path string) []string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var keys []string
+	for i, line := range strings.Split(string(b), "\n") {
+		if i == 0 || strings.TrimSpace(line) == "" {
+			continue
+		}
+		var rec struct {
+			S   int `json:"s"`
+			R   int `json:"r"`
+			Rep int `json:"rep"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue
+		}
+		keys = append(keys, fmt.Sprintf("%d/%d/%d", rec.S, rec.R, rec.Rep))
+	}
+	return keys
+}

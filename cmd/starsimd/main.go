@@ -3,11 +3,14 @@
 // a bounded worker pool, and answers repeated submissions from a
 // content-addressed result cache keyed by the spec fingerprint.
 //
-//	starsimd -addr 127.0.0.1:7077 -workers 4 -cache results.jsonl
+//	starsimd -addr 127.0.0.1:7077 -workers 4 -cache results.jsonl -wal jobs.wal
 //
 // SIGINT/SIGTERM drain the daemon: intake stops, accepted jobs finish and
 // land in the cache, then the process exits. A second signal aborts
-// in-flight jobs. See internal/serve for the HTTP API and cmd/psctl for
+// in-flight jobs. With -wal, even a SIGKILL is survivable: the restarted
+// daemon replays the WAL, re-enqueues unfinished jobs under their original
+// IDs, and resumes their sweeps from checkpoints so completed points are
+// not re-simulated. See internal/serve for the HTTP API and cmd/psctl for
 // the client.
 package main
 
@@ -30,20 +33,30 @@ func main() {
 		queueCap = flag.Int("queue", 16, "queued-but-unstarted job capacity; a full queue answers 429")
 		slots    = flag.Int("slots-per-job", 0, "per-job sweep parallelism cap (0: sweep default, GOMAXPROCS)")
 		cache    = flag.String("cache", "", "persist the result cache to this JSONL journal")
+		wal      = flag.String("wal", "", "persist the job WAL here; a restarted daemon recovers and resumes unfinished jobs")
+		budget   = flag.Int("retry-budget", 2, "retries before a failing job is quarantined (0: no retries, jobs fail outright)")
+		backoff  = flag.Duration("retry-backoff", 0, "delay before a job's first retry, doubling per attempt (default 250ms)")
 		jobTO    = flag.Duration("job-timeout", 0, "wall-clock guard for jobs that do not set their own (e.g. 5m)")
 		drainTO  = flag.Duration("drain-timeout", 0, "cap on graceful drain at shutdown; 0 waits for every accepted job")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "starsimd: ", log.LstdFlags)
+	retryBudget := *budget
+	if retryBudget <= 0 {
+		retryBudget = -1 // flag 0 means "no retries", not the config default
+	}
 	s, err := serve.New(serve.Config{
-		Addr:        *addr,
-		Workers:     *workers,
-		QueueCap:    *queueCap,
-		SlotsPerJob: *slots,
-		CachePath:   *cache,
-		JobTimeout:  *jobTO,
-		Logf:        logger.Printf,
+		Addr:         *addr,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		SlotsPerJob:  *slots,
+		CachePath:    *cache,
+		WALPath:      *wal,
+		RetryBudget:  retryBudget,
+		RetryBackoff: *backoff,
+		JobTimeout:   *jobTO,
+		Logf:         logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -116,3 +116,128 @@ func TestTornTailTrimmedOnAppend(t *testing.T) {
 		t.Fatalf("post-trim replay = %v", recs)
 	}
 }
+
+// collectLenient replays path with LoadLenient, rejecting undecodable lines.
+func collectLenient(t *testing.T, path, magic, want string) (out []rec, validLen int64, skipped int) {
+	t.Helper()
+	validLen, _, skipped, err := LoadLenient(path, magic, want, func(line []byte) error {
+		var r rec
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		if r.S == "bad" {
+			return errors.New("rejected by each")
+		}
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("LoadLenient: %v", err)
+	}
+	return out, validLen, skipped
+}
+
+// TestLoadLenientSkipsInteriorCorruption: a corrupt record in the middle of
+// the file is skipped and counted, while every record around it — including
+// ones after it — is kept. validLen covers the whole intact file so a later
+// append never overwrites good records.
+func TestLoadLenientSkipsInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := Create(path, "m1", "fp")
+	w.Append(rec{N: 1})
+	w.Append(rec{N: 2, S: "bad"}) // decodes, but the callback rejects it
+	w.Append(rec{N: 3})
+	w.Close()
+	// A second flavor of corruption: garbage bytes on their own line.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString("{{{ not json\n")
+	f.Close()
+	w2, err := OpenAppend(path, fileSize(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(rec{N: 4})
+	w2.Close()
+
+	recs, validLen, skipped := collectLenient(t, path, "m1", "fp")
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if len(recs) != 3 || recs[0].N != 1 || recs[1].N != 3 || recs[2].N != 4 {
+		t.Fatalf("lenient replay = %v", recs)
+	}
+	if validLen != fileSize(t, path) {
+		t.Fatalf("validLen %d != file size %d (interior corruption must stay inside the valid prefix)", validLen, fileSize(t, path))
+	}
+
+	// strict Load on the same file stops at the first undecodable line and
+	// never sees the record appended after it.
+	strict, _, _ := collect(t, path, "m1", "fp")
+	if len(strict) != 3 || strict[2].N != 3 {
+		t.Fatalf("strict replay = %v, want to stop before record 4", strict)
+	}
+}
+
+// TestLoadLenientTrimsTornTail: a rejected run at the very end of the file
+// is the torn tail of a crashed append, not interior corruption — it is not
+// counted as skipped and sits past validLen so OpenAppend trims it.
+func TestLoadLenientTrimsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, _ := Create(path, "m1", "fp")
+	w.Append(rec{N: 1})
+	w.Append(rec{N: 2})
+	w.Close()
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-5], 0o644)
+
+	recs, validLen, skipped := collectLenient(t, path, "m1", "fp")
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0 (a torn tail is not interior corruption)", skipped)
+	}
+	if len(recs) != 1 || recs[0].N != 1 {
+		t.Fatalf("torn lenient replay = %v", recs)
+	}
+	w2, err := OpenAppend(path, validLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(rec{N: 3})
+	w2.Close()
+	recs, _, skipped = collectLenient(t, path, "m1", "fp")
+	if skipped != 0 || len(recs) != 2 || recs[1].N != 3 {
+		t.Fatalf("post-trim lenient replay = %v skipped=%d", recs, skipped)
+	}
+}
+
+// TestSetSync: fsync-per-append must not change what is written, only when
+// it reaches the disk (which a unit test cannot observe — this pins the
+// read-back equivalence and that the toggle does not error).
+func TestSetSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path, "m1", "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetSync(true)
+	for i := 0; i < 3; i++ {
+		if err := w.Append(rec{N: i}); err != nil {
+			t.Fatalf("synced append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, found := collect(t, path, "m1", "fp")
+	if !found || len(recs) != 3 {
+		t.Fatalf("synced journal replay = %v found=%v", recs, found)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}

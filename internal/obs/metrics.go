@@ -79,6 +79,24 @@ func (m *MetricSet) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds o into s: counters add, gauges in o overwrite. psctl uses it
+// to fold its client-side counters (retries) into the daemon's snapshot
+// before printing, so one document shows both ends of the connection.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil && len(o.Counters) > 0 {
+		s.Counters = make(map[string]int64, len(o.Counters))
+	}
+	for k, v := range o.Counters {
+		s.Counters[k] += v
+	}
+	if s.Gauges == nil && len(o.Gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(o.Gauges))
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] = v
+	}
+}
+
 // MarshalJSON implements json.Marshaler with deterministic key order
 // (encoding/json already sorts map keys; this is a consistent snapshot).
 func (m *MetricSet) MarshalJSON() ([]byte, error) {

@@ -4,10 +4,12 @@ package serve
 // by the same JSONL journal machinery as the sweep checkpoints
 // (internal/journal): a header line carrying the engine version, then one
 // record per cached result, flushed as it is written. A restarted daemon
-// replays the file — tolerating a torn final line from a crash — and keeps
-// serving its history; a cache written by a different engine version is
-// ignored and rewritten rather than replayed, because its results no longer
-// correspond to what the current engine would compute.
+// replays the file leniently — a corrupt or torn record is skipped and
+// logged while every readable record around it keeps serving — so one bad
+// sector never discards the rest of the history. A cache written by a
+// different engine version is ignored and rewritten rather than replayed,
+// because its results no longer correspond to what the current engine
+// would compute.
 
 import (
 	"encoding/json"
@@ -35,19 +37,24 @@ type cache struct {
 	path    string
 	entries map[string][]byte
 	jnl     *journal.Writer
+	skipped int // corrupt records skipped at load
 }
 
 // openCache loads (or creates) the cache journal at path. An empty path
-// yields a memory-only cache.
-func openCache(path, engine string) (*cache, error) {
+// yields a memory-only cache. Corrupt records are skipped individually
+// (logged via logf) rather than discarding everything after them.
+func openCache(path, engine string, logf func(string, ...any)) (*cache, error) {
 	c := &cache{path: path, entries: make(map[string][]byte)}
 	if path == "" {
 		return c, nil
 	}
-	validLen, found, err := journal.Load(path, cacheMagic, engine, func(line []byte) error {
+	validLen, found, skipped, err := journal.LoadLenient(path, cacheMagic, engine, func(line []byte) error {
 		var rec cacheRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return err // torn tail: keep what we have
+			return err // skipped: corrupt record or torn tail
+		}
+		if rec.Key == "" || len(rec.Result) == 0 {
+			return errors.New("serve: cache record missing key or result")
 		}
 		c.entries[rec.Key] = rec.Result
 		return nil
@@ -59,6 +66,10 @@ func openCache(path, engine string) (*cache, error) {
 		found = false
 	} else if err != nil {
 		return nil, err
+	}
+	c.skipped = skipped
+	if skipped > 0 && logf != nil {
+		logf("serve: result cache %s: skipped %d corrupt record(s), kept %d", path, skipped, len(c.entries))
 	}
 	if found {
 		c.jnl, err = journal.OpenAppend(path, validLen)

@@ -1,0 +1,367 @@
+package serve
+
+// Chaos coverage for the durability layer, in-process: WAL replay and
+// re-enqueue, quarantine of poison jobs (live and across simulated
+// crashes), torn WAL tails, and lenient cache loading. The companion
+// subprocess suite in cmd/starsimd kills a real daemon with SIGKILL; these
+// tests fabricate the on-disk state a crash leaves behind and pin the
+// recovery semantics precisely.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prioritystar/internal/journal"
+	"prioritystar/internal/sim"
+)
+
+// poisonSpec fails inside the sweep on every attempt: it asks for more
+// random link faults than a 4x4 torus has links, which fault validation
+// rejects at run time (not at submit time, where only syntax is checked).
+func poisonSpec(seed int) []byte {
+	return []byte(fmt.Sprintf(`{
+		"id": "t-poison", "dims": [4, 4], "rhos": [0.3],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 10, "measure": 100, "drain": 10,
+		"reps": 1, "seed": %d,
+		"faults": "perm:999"
+	}`, seed))
+}
+
+// writeWAL fabricates the WAL a crashed daemon would leave behind.
+func writeWAL(t *testing.T, path string, recs []walRecord) {
+	t.Helper()
+	w, err := journal.Create(path, walMagic, sim.EngineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRecoveryReenqueues: jobs accepted by a crashed daemon come back
+// under their original IDs, run to completion, and land in the cache; a
+// job whose terminal record made it into the WAL stays terminal and is not
+// re-run.
+func TestWALRecoveryReenqueues(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "jobs.wal")
+	writeWAL(t, walPath, []walRecord{
+		{Op: walOpAccept, ID: "j000004", Spec: fastSpec(40)},
+		{Op: walOpAccept, ID: "j000007", Spec: fastSpec(41)},
+		{Op: walOpAttempt, ID: "j000007", Attempt: 1},
+		{Op: walOpAccept, ID: "j000009", Spec: fastSpec(42)},
+		{Op: StateCanceled, ID: "j000009"}, // terminal before the crash
+	})
+
+	s, c := newTestServer(t, Config{Workers: 2, QueueCap: 4, WALPath: walPath})
+	ctx := context.Background()
+
+	for _, id := range []string{"j000004", "j000007"} {
+		st, err := c.Watch(ctx, id, nil)
+		if err != nil {
+			t.Fatalf("watch recovered job %s: %v", id, err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("recovered job %s ended %q (err %q)", id, st.State, st.Error)
+		}
+	}
+	if _, ok := s.Job("j000009"); ok {
+		t.Fatal("terminal WAL job was resurrected")
+	}
+	if got := s.Metrics().Counter("jobs_recovered"); got != 2 {
+		t.Fatalf("jobs_recovered = %d, want 2", got)
+	}
+	// The crashed job's attempt marker survived: its first post-recovery
+	// attempt is number 2.
+	st, _ := s.Job("j000007")
+	if st.Attempt != 2 {
+		t.Fatalf("recovered job attempt = %d, want 2 (one before the crash)", st.Attempt)
+	}
+	// A fresh submission must not collide with recovered IDs.
+	fresh, err := c.SubmitJSON(ctx, fastSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID <= "j000009" {
+		t.Fatalf("fresh job id %s not past recovered ids", fresh.ID)
+	}
+	if _, err := c.Watch(ctx, fresh.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRecoveryServesFromCache: a crash that hit between the cache
+// append and the WAL terminal record must complete the job from the cache
+// on recovery, not re-simulate it.
+func TestWALRecoveryServesFromCache(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "jobs.wal")
+	cachePath := filepath.Join(dir, "cache.jsonl")
+
+	// Run the job once to get its real result into a cache journal.
+	s1, c1 := newTestServer(t, Config{Workers: 1, CachePath: cachePath})
+	st, err := c1.SubmitJSON(context.Background(), fastSpec(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Watch(context.Background(), st.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	body1 := jobResult(t, s1, st.ID)
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	writeWAL(t, walPath, []walRecord{{Op: walOpAccept, ID: "j000002", Spec: fastSpec(50)}})
+	s2, c2 := newTestServer(t, Config{Workers: 1, WALPath: walPath, CachePath: cachePath})
+	got, ok := s2.Job("j000002")
+	if !ok || got.State != StateDone || !got.Cached {
+		t.Fatalf("recovered job = %+v, want done from cache", got)
+	}
+	body2, err := c2.Result(context.Background(), "j000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("recovered cache result differs from the original run")
+	}
+	if got := s2.Metrics().Counter("sim_runs"); got != 0 {
+		t.Fatalf("recovery re-simulated %d times, want 0", got)
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALQuarantineOnRecovery: a job whose WAL shows its retry budget
+// already spent (it kept crashing the daemon) is quarantined at startup
+// instead of re-enqueued — the crash-loop breaker.
+func TestWALQuarantineOnRecovery(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "jobs.wal")
+	writeWAL(t, walPath, []walRecord{
+		{Op: walOpAccept, ID: "j000001", Spec: fastSpec(60)},
+		{Op: walOpAttempt, ID: "j000001", Attempt: 1},
+		{Op: walOpAttempt, ID: "j000001", Attempt: 2},
+		{Op: walOpAttempt, ID: "j000001", Attempt: 3},
+	})
+	// RetryBudget 2 (the default): 3 attempts = budget spent.
+	s, _ := newTestServer(t, Config{Workers: 1, WALPath: walPath})
+	st, ok := s.Job("j000001")
+	if !ok || st.State != StateQuarantined {
+		t.Fatalf("job = %+v, want quarantined on recovery", st)
+	}
+	if got := s.Metrics().Counter("jobs_quarantined"); got != 1 {
+		t.Fatalf("jobs_quarantined = %d, want 1", got)
+	}
+	if got := s.Metrics().Counter("sim_runs"); got != 0 {
+		t.Fatalf("quarantined job simulated %d times, want 0", got)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoisonJobQuarantinedLive: a job that fails every attempt burns its
+// retry budget (with backoff) and lands in quarantine, visible in the list
+// and the metrics; a job with retries disabled fails outright.
+func TestPoisonJobQuarantinedLive(t *testing.T) {
+	s, c := newTestServer(t, Config{
+		Workers: 1, QueueCap: 4,
+		RetryBudget: 1, RetryBackoff: time.Millisecond,
+	})
+	ctx := context.Background()
+
+	st, err := c.SubmitJSON(ctx, poisonSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateQuarantined {
+		t.Fatalf("poison job ended %q, want quarantined", final.State)
+	}
+	if final.Attempt != 2 {
+		t.Fatalf("poison job attempts = %d, want 2 (budget 1 retry)", final.Attempt)
+	}
+	if final.Error == "" {
+		t.Fatal("quarantined job lost its error")
+	}
+	if got := s.Metrics().Counter("jobs_quarantined"); got != 1 {
+		t.Fatalf("jobs_quarantined = %d, want 1", got)
+	}
+	if got := s.Metrics().Counter("job_retries"); got != 1 {
+		t.Fatalf("job_retries = %d, want 1", got)
+	}
+	// Quarantine must not wedge the worker: a good job still runs.
+	ok, err := c.SubmitJSON(ctx, fastSpec(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.Watch(ctx, ok.ID, nil); err != nil || fin.State != StateDone {
+		t.Fatalf("job after quarantine: %v %+v", err, fin)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoisonJobFailsWithRetriesDisabled: RetryBudget < 0 restores plain
+// single-attempt failure semantics.
+func TestPoisonJobFailsWithRetriesDisabled(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, RetryBudget: -1})
+	ctx := context.Background()
+	st, err := c.SubmitJSON(ctx, poisonSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateFailed || final.Attempt != 1 {
+		t.Fatalf("job = %+v, want failed on attempt 1", final)
+	}
+	if got := s.Metrics().Counter("jobs_quarantined"); got != 0 {
+		t.Fatalf("jobs_quarantined = %d, want 0 with retries disabled", got)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTornWALTailRecovered: a WAL whose final record was torn by the crash
+// still recovers every intact record.
+func TestTornWALTailRecovered(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "jobs.wal")
+	writeWAL(t, walPath, []walRecord{
+		{Op: walOpAccept, ID: "j000001", Spec: fastSpec(70)},
+		{Op: walOpAccept, ID: "j000002", Spec: fastSpec(71)},
+	})
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, c := newTestServer(t, Config{Workers: 2, WALPath: walPath})
+	if st, err := c.Watch(context.Background(), "j000001", nil); err != nil || st.State != StateDone {
+		t.Fatalf("intact WAL job: %v %+v", err, st)
+	}
+	if _, ok := s.Job("j000002"); ok {
+		t.Fatal("torn WAL record produced a job")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALEngineMismatchStartsFresh: a WAL from a different engine version
+// is discarded (its fingerprints name different computations), not
+// replayed and not fatal.
+func TestWALEngineMismatchStartsFresh(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := journal.Create(walPath, walMagic, "some-other-engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walRecord{Op: walOpAccept, ID: "j000001", Spec: fastSpec(80)}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	s, _ := newTestServer(t, Config{Workers: 1, WALPath: walPath})
+	if _, ok := s.Job("j000001"); ok {
+		t.Fatal("stale-engine WAL job was resurrected")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheSkipsCorruptRecords: one corrupt line in the cache journal is
+// skipped and logged; every record around it keeps serving.
+func TestCacheSkipsCorruptRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	w, err := journal.Create(path, cacheMagic, sim.EngineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(cacheRecord{Key: "ps1-aaa", Result: json.RawMessage(`{"a":1}`)})
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("garbage{{{\n")
+	f.Close()
+	w2, err := journal.OpenAppend(path, fileSizeOf(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(cacheRecord{Key: "ps1-bbb", Result: json.RawMessage(`{"b":2}`)})
+	w2.Close()
+
+	var logged []string
+	c, err := openCache(path, sim.EngineVersion, func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	if _, ok := c.get("ps1-aaa"); !ok {
+		t.Fatal("record before the corruption was lost")
+	}
+	if _, ok := c.get("ps1-bbb"); !ok {
+		t.Fatal("record after the corruption was lost")
+	}
+	if c.skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", c.skipped)
+	}
+	if len(logged) == 0 {
+		t.Fatal("corrupt cache record was not logged")
+	}
+	// Appending after the lenient load must not clobber the good records.
+	if err := c.put("ps1-ccc", []byte(`{"c":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	c.close()
+	c2, err := openCache(path, sim.EngineVersion, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.close()
+	if c2.len() != 3 {
+		t.Fatalf("reloaded cache has %d entries, want 3", c2.len())
+	}
+}
+
+func fileSizeOf(t *testing.T, path string) int64 {
+	t.Helper()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}

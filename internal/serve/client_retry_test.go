@@ -1,0 +1,199 @@
+package serve
+
+// RetryPolicy coverage: the jittered backoff math, Retry-After precedence,
+// budget exhaustion surfacing the last error, context cancellation, and
+// transport-error recovery — the "self-healing client" half of the
+// durability story, pinned against scripted HTTP servers.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// retryClient builds a client for url with a deterministic policy: rnd
+// pinned to 1.0 (delays hit the jitter ceiling exactly) and sleeps recorded
+// instead of slept.
+func retryClient(url string, retries int, slept *[]time.Duration) *Client {
+	c := NewClient(url)
+	c.Retry = RetryPolicy{
+		MaxRetries: retries,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   5 * time.Second,
+		rnd:        func() float64 { return 1.0 },
+		sleep: func(ctx context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return ctx.Err()
+		},
+	}
+	return c
+}
+
+// TestRetryEventuallySucceeds: transient 503s are retried away and the call
+// succeeds, with one jittered backoff per failure.
+func TestRetryEventuallySucceeds(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer hs.Close()
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 4, &slept)
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	// rnd pinned to 1.0: delays are exactly BaseDelay<<n.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff delays = %v, want %v", slept, want)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a server-sent Retry-After overrides the
+// jittered backoff, capped at MaxDelay.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "3600") // must be capped at MaxDelay
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+		default:
+			w.Write([]byte(`{"jobs":[]}`))
+		}
+	}))
+	defer hs.Close()
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 4, &slept)
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	want := []time.Duration{2 * time.Second, 5 * time.Second}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("Retry-After delays = %v, want %v", slept, want)
+	}
+}
+
+// TestRetryJitterBounds: with a real rnd every delay must land in
+// [0, min(MaxDelay, BaseDelay<<n)].
+func TestRetryJitterBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for retry := 0; retry < 10; retry++ {
+		ceil := min(p.BaseDelay<<retry, p.MaxDelay)
+		for i := 0; i < 100; i++ {
+			if d := p.delay(retry, -1); d < 0 || d > ceil {
+				t.Fatalf("delay(retry=%d) = %v, outside [0, %v]", retry, d, ceil)
+			}
+		}
+	}
+}
+
+// TestRetryBudgetExhaustionSurfacesLastError: when every attempt fails, the
+// final error is the last response — still recognizable by IsQueueFull —
+// and exactly MaxRetries+1 requests were made.
+func TestRetryBudgetExhaustionSurfacesLastError(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 2, &slept)
+	_, err := c.SubmitJSON(context.Background(), []byte(`{}`))
+	if !IsQueueFull(err) {
+		t.Fatalf("err = %v, want the final 429 surfaced as queue-full", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want MaxRetries+1 = 3", got)
+	}
+}
+
+// TestRetryStopsOnContextCancel: a canceled context ends the retry loop
+// immediately with ctx.Err(), not after the budget drains.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"nope"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewClient(hs.URL)
+	c.Retry = RetryPolicy{
+		MaxRetries: 100,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   time.Millisecond,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // cancel during the first backoff
+			return ctx.Err()
+		},
+	}
+	_, err := c.List(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests after cancel, want 1", got)
+	}
+}
+
+// TestRetryTransportErrors: a connection torn down mid-response is retried
+// like a 5xx, so a daemon restart between request and response heals.
+func TestRetryTransportErrors(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			panic(http.ErrAbortHandler) // slam the connection shut
+		}
+		w.Write([]byte(`{"jobs":[]}`))
+	}))
+	defer hs.Close()
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 2, &slept)
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("List after transport error: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestZeroRetryPolicyDisablesRetries: the zero value makes exactly one
+// request, preserving pre-retry behavior for tests and impatient callers.
+func TestZeroRetryPolicyDisablesRetries(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"nope"}`, http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retry = RetryPolicy{}
+	if _, err := c.List(context.Background()); err == nil {
+		t.Fatal("List succeeded against a 503-only server")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}

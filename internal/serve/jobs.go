@@ -7,14 +7,24 @@ package serve
 // job instead of enqueueing a second simulation; everything else joins the
 // queue or — when the queue is full — is refused with errQueueFull so the
 // HTTP layer can answer 429 with a Retry-After hint.
+//
+// Failure handling: each job has a retry budget. A failing attempt backs
+// off exponentially and re-runs (resuming from its checkpoint journal when
+// the WAL is enabled); a job that exhausts the budget moves to the
+// quarantined terminal state instead of crash-looping. Every accepted spec,
+// attempt start, and terminal transition is journaled to the WAL so a
+// killed daemon recovers its unfinished jobs on restart.
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"prioritystar/internal/spec"
 	"prioritystar/internal/sweep"
 )
 
@@ -25,6 +35,10 @@ const (
 	StateDone     = "done"
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+	// StateQuarantined marks a job that failed on every attempt of its
+	// retry budget (or kept crashing the daemon): terminal, kept visible so
+	// operators can inspect it, and never retried again.
+	StateQuarantined = "quarantined"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -46,6 +60,12 @@ type JobStatus struct {
 	// Done/Total track replication progress while running.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Attempt is the 1-based attempt number (greater than 1 after retries;
+	// counts attempts in earlier daemon processes for recovered jobs).
+	Attempt int `json:"attempt,omitempty"`
+	// ResumedReps counts replications replayed from the checkpoint journal
+	// instead of re-simulated, on the attempt that finished the job.
+	ResumedReps int `json:"resumedReps,omitempty"`
 	// SlotsPerSec is the executed job's simulation throughput (total
 	// simulated slots across replications over wall-clock run time).
 	SlotsPerSec float64 `json:"slotsPerSec,omitempty"`
@@ -59,7 +79,16 @@ type JobStatus struct {
 
 // Terminal reports whether the state is final.
 func (s *JobStatus) Terminal() bool {
-	return s.State == StateDone || s.State == StateFailed || s.State == StateCanceled
+	return s.State == StateDone || s.State == StateFailed ||
+		s.State == StateCanceled || s.State == StateQuarantined
+}
+
+// statusEvent pairs a status snapshot with its per-job sequence number;
+// the SSE layer renders the sequence as the event ID so a reconnecting
+// client (Last-Event-ID) can suppress the duplicate snapshot.
+type statusEvent struct {
+	seq int
+	st  JobStatus
 }
 
 // job is the server-side record of one submission.
@@ -67,12 +96,15 @@ type job struct {
 	id          string
 	fingerprint string
 	exp         *sweep.Experiment
+	specJSON    []byte // canonical spec document, journaled on accept
 	cancel      context.CancelFunc
 
-	mu     sync.Mutex
-	status JobStatus
-	result []byte
-	subs   []chan JobStatus
+	mu      sync.Mutex
+	attempt int // attempts started, including in crashed daemon processes
+	seq     int // status updates so far; SSE event IDs
+	status  JobStatus
+	result  []byte
+	subs    []chan statusEvent
 }
 
 // snapshot returns a copy of the current status.
@@ -89,19 +121,20 @@ func (j *job) snapshot() JobStatus {
 func (j *job) update(fn func(*JobStatus)) {
 	j.mu.Lock()
 	fn(&j.status)
-	st := j.status
+	j.seq++
+	ev := statusEvent{seq: j.seq, st: j.status}
 	subs := j.subs
-	if st.Terminal() {
+	if ev.st.Terminal() {
 		j.subs = nil
 	}
 	j.mu.Unlock()
 	for _, ch := range subs {
-		if st.Terminal() {
+		if ev.st.Terminal() {
 			// The terminal state must arrive: make room by dropping the
 			// oldest undelivered progress event if the buffer is full.
 			for delivered := false; !delivered; {
 				select {
-				case ch <- st:
+				case ch <- ev:
 					delivered = true
 				default:
 					select {
@@ -114,7 +147,7 @@ func (j *job) update(fn func(*JobStatus)) {
 			continue
 		}
 		select {
-		case ch <- st:
+		case ch <- ev:
 		default: // slow subscriber: skip this progress event
 		}
 	}
@@ -124,27 +157,30 @@ func (j *job) update(fn func(*JobStatus)) {
 // first; if the job is already terminal the channel is closed immediately
 // after. The channel has room for the terminal send even when the
 // subscriber is not draining progress events.
-func (j *job) subscribe() <-chan JobStatus {
-	ch := make(chan JobStatus, 16)
+func (j *job) subscribe() <-chan statusEvent {
+	ch := make(chan statusEvent, 16)
 	j.mu.Lock()
-	st := j.status
-	terminal := st.Terminal()
+	ev := statusEvent{seq: j.seq, st: j.status}
+	terminal := ev.st.Terminal()
 	if !terminal {
 		j.subs = append(j.subs, ch)
 	}
 	j.mu.Unlock()
-	ch <- st
+	ch <- ev
 	if terminal {
 		close(ch)
 	}
 	return ch
 }
 
-// manager owns the queue, the workers, the single-flight table, and the
-// cache.
+// manager owns the queue, the workers, the single-flight table, the WAL,
+// and the cache.
 type manager struct {
-	cfg   Config
-	cache *cache
+	cfg     Config
+	cache   *cache
+	wal     *wal   // nil when crash recovery is disabled
+	ckptDir string // per-job sweep checkpoints; "" when WAL disabled
+	bootID  string // namespaces SSE event IDs across daemon restarts
 
 	mu       sync.Mutex
 	draining bool
@@ -159,21 +195,109 @@ type manager struct {
 	stop    context.CancelFunc
 }
 
-// newManager builds the manager and starts its workers.
-func newManager(cfg Config, c *cache) *manager {
+// newManager builds the manager, re-enqueues the jobs recovered from the
+// WAL, and starts its workers. maxSeq seeds the job-ID counter past every
+// ID the WAL has ever handed out.
+func newManager(cfg Config, c *cache, w *wal, ckptDir string, recovered []walJob, maxSeq int) *manager {
 	m := &manager{
-		cfg:    cfg,
-		cache:  c,
-		jobs:   make(map[string]*job),
-		active: make(map[string]*job),
-		queue:  make(chan *job, cfg.QueueCap),
+		cfg:     cfg,
+		cache:   c,
+		wal:     w,
+		ckptDir: ckptDir,
+		bootID:  fmt.Sprintf("b%x", time.Now().UnixNano()),
+		jobs:    make(map[string]*job),
+		active:  make(map[string]*job),
+		// Recovered jobs must all fit regardless of the configured cap:
+		// they were accepted by a previous process and may not be refused.
+		queue: make(chan *job, cfg.QueueCap+len(recovered)),
+		seq:   maxSeq,
 	}
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	m.recover(recovered)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// maxAttempts is the total number of attempts a job may consume.
+func (m *manager) maxAttempts() int { return m.cfg.RetryBudget + 1 }
+
+// recover re-registers the WAL's unfinished jobs before the workers start:
+// a cached fingerprint completes instantly, an exhausted retry budget
+// quarantines (the crash-loop breaker), everything else re-enqueues under
+// its original ID with its sweep checkpoint ready to resume.
+func (m *manager) recover(recovered []walJob) {
+	for _, wj := range recovered {
+		exp, err := spec.Decode(wj.spec)
+		if err == nil {
+			err = spec.Stamp(exp)
+		}
+		if err != nil {
+			m.logf("serve: dropping unrecoverable WAL job %s: %v", wj.id, err)
+			continue
+		}
+		if wj.fp != "" && exp.Fingerprint != wj.fp {
+			// The spec hashes differently now (it was journaled by an older
+			// build with the same engine version): trust the fresh hash.
+			m.logf("serve: WAL job %s fingerprint moved %s -> %s", wj.id, wj.fp, exp.Fingerprint)
+		}
+		j := &job{
+			id:          wj.id,
+			fingerprint: exp.Fingerprint,
+			exp:         exp,
+			specJSON:    wj.spec,
+			attempt:     wj.attempts,
+			status: JobStatus{
+				ID:          wj.id,
+				State:       StateQueued,
+				Fingerprint: exp.Fingerprint,
+				Attempt:     wj.attempts,
+				Total:       len(exp.Schemes) * len(exp.Rhos) * exp.Reps,
+				SubmittedAt: now(),
+			},
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+
+		// The result may already be cached: the crash hit between the cache
+		// append and the WAL's terminal record.
+		if body, ok := m.cache.get(j.fingerprint); ok {
+			j.result = body
+			j.update(func(s *JobStatus) {
+				s.State = StateDone
+				s.Cached = true
+				s.FinishedAt = now()
+			})
+			m.walTerminal(j)
+			m.cfg.Metrics.Add("jobs_recovered", 1)
+			continue
+		}
+		// A job whose attempts are exhausted kept failing (or kept killing
+		// the daemon): quarantine instead of crash-looping the recovery.
+		if j.attempt >= m.maxAttempts() {
+			j.update(func(s *JobStatus) {
+				s.State = StateQuarantined
+				s.Error = fmt.Sprintf("serve: job did not survive %d attempt(s); quarantined on recovery", j.attempt)
+				s.FinishedAt = now()
+			})
+			m.walTerminal(j)
+			m.cfg.Metrics.Add("jobs_quarantined", 1)
+			continue
+		}
+		m.active[j.fingerprint] = j
+		m.queue <- j
+		m.cfg.Metrics.Add("jobs_recovered", 1)
+		m.cfg.Metrics.Add("jobs_queued", 1)
+	}
+}
+
+// logf forwards to the configured logger.
+func (m *manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
 }
 
 // now returns the wall-clock timestamp format used in statuses.
@@ -227,6 +351,21 @@ func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
 	}
 	m.active[fp] = j
 	m.cfg.Metrics.Add("jobs_queued", 1)
+
+	// Journal the acceptance: after this line a crash cannot lose the job.
+	if m.wal != nil {
+		canon, err := spec.Canonical(exp)
+		if err == nil {
+			j.specJSON = canon
+			err = m.wal.append(walRecord{
+				Op: walOpAccept, ID: j.id, Fingerprint: fp,
+				Spec: canon, Time: st.SubmittedAt,
+			})
+		}
+		if err != nil {
+			m.logf("serve: journaling job %s: %v", j.id, err)
+		}
+	}
 	return st, nil
 }
 
@@ -300,6 +439,8 @@ func (m *manager) cancelJob(id string) bool {
 			}
 		})
 		if canceled {
+			m.walTerminal(j)
+			m.cfg.Metrics.Add("jobs_canceled", 1)
 			m.finish(j)
 		}
 	}
@@ -309,6 +450,20 @@ func (m *manager) cancelJob(id string) bool {
 // queueDepth reports the number of queued-but-unstarted jobs.
 func (m *manager) queueDepth() int { return len(m.queue) }
 
+// inflight counts jobs not yet in a terminal state (queued, running, or
+// between retry attempts).
+func (m *manager) inflight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if st := j.snapshot(); !st.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
 // worker drains the queue until drain() closes it.
 func (m *manager) worker() {
 	defer m.wg.Done()
@@ -317,28 +472,111 @@ func (m *manager) worker() {
 	}
 }
 
-// run executes one job end to end.
+// eventID renders a per-job sequence number as an SSE event ID. The boot
+// prefix makes IDs from different daemon processes incomparable, so a
+// client reconnecting across a restart never has its events suppressed by
+// a stale Last-Event-ID.
+func (m *manager) eventID(seq int) string { return fmt.Sprintf("%s-%d", m.bootID, seq) }
+
+// ckptPath is the fingerprint-keyed sweep checkpoint journal for a job
+// ("" when the WAL — and with it durable execution — is disabled).
+func (m *manager) ckptPath(fingerprint string) string {
+	if m.ckptDir == "" {
+		return ""
+	}
+	return filepath.Join(m.ckptDir, fingerprint+".jsonl")
+}
+
+// backoff is the delay before the retry following a failed attempt
+// (1-based): RetryBackoff doubling per attempt, capped at a minute.
+func (m *manager) backoff(attempt int) time.Duration {
+	d := m.cfg.RetryBackoff
+	for i := 1; i < attempt && d < time.Minute; i++ {
+		d *= 2
+	}
+	return min(d, time.Minute)
+}
+
+// runJobSafe executes the sweep, converting a panic into an error so a
+// poisoned job burns a retry instead of the whole daemon.
+func runJobSafe(exp *sweep.Experiment) (res *sweep.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: job panicked: %v", r)
+		}
+	}()
+	return exp.Run()
+}
+
+// attemptVerdict is runAttempt's outcome.
+type attemptVerdict int
+
+const (
+	attemptTerminal attemptVerdict = iota // job reached a terminal state
+	attemptRetry                          // failed with budget remaining
+)
+
+// run executes one job to a terminal state: attempts separated by
+// exponential backoff until success, cancellation, or an exhausted retry
+// budget (quarantine). The worker slot is held throughout so drain() still
+// means "every accepted job terminated".
 func (m *manager) run(j *job) {
+	for {
+		if m.runAttempt(j) == attemptTerminal {
+			m.finish(j)
+			return
+		}
+		m.cfg.Metrics.Add("job_retries", 1)
+		select {
+		case <-time.After(m.backoff(j.attempt)):
+		case <-m.baseCtx.Done():
+			// Aborted mid-backoff (drain deadline): the job dies canceled.
+			j.update(func(s *JobStatus) {
+				if !s.Terminal() {
+					s.State = StateCanceled
+					s.FinishedAt = now()
+				}
+			})
+			m.walTerminal(j)
+			m.cfg.Metrics.Add("jobs_canceled", 1)
+			m.finish(j)
+			return
+		}
+	}
+}
+
+// runAttempt executes one attempt of one job.
+func (m *manager) runAttempt(j *job) attemptVerdict {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
 
 	// Atomically claim the job; a cancel that won the race leaves it
 	// terminal and the worker just moves on.
-	started := false
+	started, first := false, false
 	j.update(func(s *JobStatus) {
 		if s.State == StateQueued {
 			s.State = StateRunning
-			s.StartedAt = now()
+			if s.StartedAt == "" {
+				s.StartedAt = now()
+				first = true // first attempt in this process
+			}
+			j.attempt++
+			s.Attempt = j.attempt
 			started = true
 		}
 	})
 	if !started {
-		return
+		return attemptTerminal
 	}
 	j.mu.Lock()
 	j.cancel = cancel
 	j.mu.Unlock()
-	m.cfg.Metrics.Add("jobs_started", 1)
+	if first {
+		m.cfg.Metrics.Add("jobs_started", 1)
+	}
+	if err := m.wal.append(walRecord{Op: walOpAttempt, ID: j.id, Attempt: j.attempt, Time: now()}); err != nil {
+		m.logf("serve: journaling attempt for %s: %v", j.id, err)
+	}
 
 	exp := j.exp
 	exp.Context = ctx
@@ -351,66 +589,118 @@ func (m *manager) run(j *job) {
 	if m.cfg.JobTimeout > 0 && exp.Guard.Timeout == 0 {
 		exp.Guard.Timeout = m.cfg.JobTimeout
 	}
+	if p := m.ckptPath(j.fingerprint); p != "" {
+		// Fingerprint-keyed checkpoint, resumed on every attempt: points
+		// simulated before a crash or failure are never re-run.
+		exp.Checkpoint = p
+		exp.Resume = true
+	}
 
 	start := time.Now()
-	res, err := exp.Run()
+	res, err := runJobSafe(exp)
 	elapsed := time.Since(start)
 
+	if err == nil {
+		var encErr error
+		if body, e := encodeResult(j.fingerprint, m.cfg.engine, res); e != nil {
+			encErr = e
+		} else {
+			if cerr := m.cache.put(j.fingerprint, body); cerr != nil {
+				m.logf("serve: persisting result %s: %v", j.fingerprint, cerr)
+			}
+			totalSlots := (exp.Warmup + exp.Measure + exp.Drain) *
+				int64(len(exp.Schemes)*len(exp.Rhos)*exp.Reps)
+			sps := float64(totalSlots) / elapsed.Seconds()
+			partial := false
+			for _, s := range res.Series {
+				for _, p := range s.Points {
+					if p.FailedReps > 0 || p.DivergedReps > 0 {
+						partial = true
+					}
+				}
+			}
+			j.mu.Lock()
+			j.result = body
+			j.mu.Unlock()
+			j.update(func(s *JobStatus) {
+				s.State = StateDone
+				s.SlotsPerSec = sps
+				s.Partial = partial
+				s.ResumedReps = res.ResumedReps
+				s.Error = ""
+				s.FinishedAt = now()
+			})
+			m.walTerminal(j)
+			m.cfg.Metrics.Add("sim_runs", 1)
+			m.cfg.Metrics.Add("jobs_done", 1)
+			m.cfg.Metrics.Add("slots_simulated", totalSlots)
+			m.cfg.Metrics.Set("last_job_slots_per_sec", sps)
+			if p := exp.Checkpoint; p != "" {
+				os.Remove(p) // the cache owns the result now
+			}
+			return attemptTerminal
+		}
+		err = encErr
+	}
+
 	switch {
-	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.update(func(s *JobStatus) {
 			s.State = StateCanceled
 			s.Error = err.Error()
 			s.FinishedAt = now()
 		})
+		m.walTerminal(j)
 		m.cfg.Metrics.Add("jobs_canceled", 1)
-	case err != nil:
+		return attemptTerminal
+	case j.attempt >= m.maxAttempts():
+		state := StateFailed // no retry budget configured: plain failure
+		if m.cfg.RetryBudget > 0 {
+			state = StateQuarantined
+		}
 		j.update(func(s *JobStatus) {
-			s.State = StateFailed
+			s.State = state
 			s.Error = err.Error()
 			s.FinishedAt = now()
 		})
-		m.cfg.Metrics.Add("jobs_failed", 1)
-	default:
-		body, encErr := encodeResult(j.fingerprint, m.cfg.engine, res)
-		if encErr != nil {
-			j.update(func(s *JobStatus) {
-				s.State = StateFailed
-				s.Error = encErr.Error()
-				s.FinishedAt = now()
-			})
+		m.walTerminal(j)
+		if state == StateQuarantined {
+			m.cfg.Metrics.Add("jobs_quarantined", 1)
+		} else {
 			m.cfg.Metrics.Add("jobs_failed", 1)
-			break
 		}
-		if cerr := m.cache.put(j.fingerprint, body); cerr != nil && m.cfg.Logf != nil {
-			m.cfg.Logf("serve: persisting result %s: %v", j.fingerprint, cerr)
-		}
-		totalSlots := (exp.Warmup + exp.Measure + exp.Drain) *
-			int64(len(exp.Schemes)*len(exp.Rhos)*exp.Reps)
-		sps := float64(totalSlots) / elapsed.Seconds()
-		partial := false
-		for _, s := range res.Series {
-			for _, p := range s.Points {
-				if p.FailedReps > 0 || p.DivergedReps > 0 {
-					partial = true
-				}
-			}
-		}
+		return attemptTerminal
+	default:
+		// Budget remains: back to queued (error visible) and let run()
+		// re-attempt after the backoff. The stale cancel func is cleared so
+		// a DELETE during the backoff cancels via the queued path.
+		m.logf("serve: job %s attempt %d failed (%v); retrying", j.id, j.attempt, err)
 		j.mu.Lock()
-		j.result = body
+		j.cancel = nil
 		j.mu.Unlock()
 		j.update(func(s *JobStatus) {
-			s.State = StateDone
-			s.SlotsPerSec = sps
-			s.Partial = partial
-			s.FinishedAt = now()
+			if s.State == StateRunning {
+				s.State = StateQueued
+				s.Error = err.Error()
+			}
 		})
-		m.cfg.Metrics.Add("sim_runs", 1)
-		m.cfg.Metrics.Add("jobs_done", 1)
-		m.cfg.Metrics.Add("slots_simulated", totalSlots)
-		m.cfg.Metrics.Set("last_job_slots_per_sec", sps)
+		return attemptRetry
 	}
-	m.finish(j)
+}
+
+// walTerminal journals a job's terminal transition (no-op for cache-hit
+// pseudo-jobs, which were never journaled as accepted).
+func (m *manager) walTerminal(j *job) {
+	if m.wal == nil || j.exp == nil {
+		return
+	}
+	st := j.snapshot()
+	if err := m.wal.append(walRecord{
+		Op: st.State, ID: j.id, Attempt: st.Attempt,
+		Error: st.Error, Time: st.FinishedAt,
+	}); err != nil {
+		m.logf("serve: journaling %s of %s: %v", st.State, j.id, err)
+	}
 }
 
 // finish retires the job from the single-flight table.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -52,6 +53,19 @@ type Config struct {
 	// CachePath persists the result cache as a JSONL journal; empty keeps
 	// it in memory only.
 	CachePath string
+	// WALPath persists the job write-ahead log; empty disables crash
+	// recovery (jobs in flight when the process dies are lost). With a WAL,
+	// a restarted daemon re-enqueues unfinished jobs under their original
+	// IDs and resumes their sweeps from checkpoints kept in the WALPath+".d"
+	// directory.
+	WALPath string
+	// RetryBudget is how many times a failing job is retried before it is
+	// quarantined. 0 means the default (2); negative disables retries, and
+	// exhausted jobs then fail instead of quarantining.
+	RetryBudget int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt. Default 250ms.
+	RetryBackoff time.Duration
 	// JobTimeout arms a wall-clock guard on jobs that do not set their own;
 	// 0 leaves them unguarded.
 	JobTimeout time.Duration
@@ -90,17 +104,42 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	switch {
+	case cfg.RetryBudget == 0:
+		cfg.RetryBudget = 2
+	case cfg.RetryBudget < 0:
+		cfg.RetryBudget = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = &obs.MetricSet{}
 	}
 	if cfg.engine == "" {
 		cfg.engine = sim.EngineVersion
 	}
-	c, err := openCache(cfg.CachePath, cfg.engine)
+	c, err := openCache(cfg.CachePath, cfg.engine, cfg.Logf)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening result cache: %w", err)
 	}
-	s := &Server{cfg: cfg, mgr: newManager(cfg, c)}
+	var (
+		w       *wal
+		ckptDir string
+		pending []walJob
+		maxSeq  int
+	)
+	if cfg.WALPath != "" {
+		w, pending, maxSeq, err = openWAL(cfg.WALPath, cfg.engine, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening job WAL: %w", err)
+		}
+		ckptDir = cfg.WALPath + ".d"
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating checkpoint dir: %w", err)
+		}
+	}
+	s := &Server{cfg: cfg, mgr: newManager(cfg, c, w, ckptDir, pending, maxSeq)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -169,6 +208,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if cerr := s.mgr.cache.close(); cerr != nil && err == nil {
 		err = cerr
+	}
+	if werr := s.mgr.wal.close(); werr != nil && err == nil {
+		err = werr
 	}
 	if s.http != nil {
 		hctx, cancel := context.WithTimeout(context.Background(), time.Second)
@@ -308,17 +350,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	// Last-Event-ID (set by reconnecting clients): suppress re-sending the
+	// snapshot the client already has, but only for an ID minted by this
+	// process — IDs carry a boot prefix, so a restart invalidates them and
+	// the client gets a fresh snapshot.
+	lastID := r.Header.Get("Last-Event-ID")
 	ch := j.subscribe()
 	for {
 		select {
-		case st, open := <-ch:
+		case ev, open := <-ch:
 			if !open {
 				return
 			}
-			b, _ := json.Marshal(st)
-			fmt.Fprintf(w, "event: status\ndata: %s\n\n", b)
+			id := s.mgr.eventID(ev.seq)
+			if id == lastID && !ev.st.Terminal() {
+				continue // exact duplicate of the pre-reconnect snapshot
+			}
+			b, _ := json.Marshal(ev.st)
+			fmt.Fprintf(w, "id: %s\nevent: status\ndata: %s\n\n", id, b)
 			fl.Flush()
-			if st.Terminal() {
+			if ev.st.Terminal() {
 				return
 			}
 		case <-r.Context().Done():
@@ -341,8 +392,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.cfg.Metrics
 	m.Set("queue_depth", float64(s.mgr.queueDepth()))
 	m.Set("cache_entries", float64(s.mgr.cache.len()))
-	m.Set("inflight", float64(m.Counter("jobs_started")-
-		m.Counter("jobs_done")-m.Counter("jobs_failed")-m.Counter("jobs_canceled")))
+	m.Set("inflight", float64(s.mgr.inflight()))
 	writeJSON(w, http.StatusOK, m.Snapshot())
 }
 

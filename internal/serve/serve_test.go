@@ -151,7 +151,7 @@ func TestEndToEndCacheHitByteIdentical(t *testing.T) {
 	if got := m.Counter("sim_runs"); got != 1 {
 		t.Errorf("sim_runs = %d, want 1 (the cache hit must not re-simulate)", got)
 	}
-	snap, err := c.Metrics(ctx)
+	snap, err := c.MetricsSnapshot(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +200,7 @@ func TestConcurrentDuplicatesRunOnce(t *testing.T) {
 // third distinct job must be refused with 429 and a Retry-After hint.
 func TestQueueFullBackpressure(t *testing.T) {
 	_, c := newTestServer(t, Config{Workers: 1, QueueCap: 1, SlotsPerJob: 1})
+	c.Retry = RetryPolicy{} // the 429 must surface, not be retried away
 	ctx := context.Background()
 
 	a, err := c.SubmitJSON(ctx, slowSpec(10))

@@ -190,6 +190,13 @@ func Load(r io.Reader) (*sweep.Experiment, error) {
 	return e.ToSweep()
 }
 
+// Decode is Load over in-memory bytes — the daemon's job WAL stores each
+// accepted spec as canonical JSON and rebuilds the experiment from it on
+// crash recovery.
+func Decode(data []byte) (*sweep.Experiment, error) {
+	return Load(strings.NewReader(string(data)))
+}
+
 // FromSweep converts a runnable experiment back into its JSON form.
 func FromSweep(e *sweep.Experiment) *Experiment {
 	out := &Experiment{

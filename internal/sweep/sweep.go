@@ -189,6 +189,10 @@ type Result struct {
 	Exp     *Experiment
 	Series  []Series
 	Elapsed time.Duration
+	// ResumedReps counts replications replayed from the checkpoint journal
+	// instead of simulated — the daemon's crash-recovery path uses it to
+	// prove a resumed job re-ran zero already-checkpointed points.
+	ResumedReps int
 }
 
 // repKey identifies one replication of one cell.
@@ -280,6 +284,7 @@ func (e *Experiment) Run() (*Result, error) {
 		}
 		defer jnl.close()
 	}
+	resumed := len(records)
 
 	type job struct {
 		key repKey
@@ -394,7 +399,7 @@ func (e *Experiment) Run() (*Result, error) {
 	// Deterministic aggregation: visit (scheme, rho, rep) in index order so
 	// the float summaries are independent of worker scheduling and of how
 	// the records were split between journal replay and fresh simulation.
-	res := &Result{Exp: e, Elapsed: time.Since(start)}
+	res := &Result{Exp: e, Elapsed: time.Since(start), ResumedReps: resumed}
 	for si, spec := range e.Schemes {
 		series := Series{Scheme: spec, Points: make([]Point, len(e.Rhos))}
 		for ri := range e.Rhos {

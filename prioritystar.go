@@ -363,8 +363,12 @@ type (
 	// Server is the daemon: worker pool, FIFO job queue with backpressure,
 	// and a content-addressed result cache keyed by spec fingerprints.
 	Server = serve.Server
-	// ServeClient talks to a running daemon over HTTP.
+	// ServeClient talks to a running daemon over HTTP, retrying transient
+	// failures and reconnecting broken watch streams per its RetryPolicy.
 	ServeClient = serve.Client
+	// RetryPolicy shapes the client's self-healing behavior (capped
+	// exponential backoff with full jitter, honoring Retry-After).
+	RetryPolicy = serve.RetryPolicy
 	// JobStatus is one job's wire-format status.
 	JobStatus = serve.JobStatus
 	// ExperimentSpec is the portable JSON experiment document shared by
@@ -379,6 +383,9 @@ const (
 	JobDone     = serve.StateDone
 	JobFailed   = serve.StateFailed
 	JobCanceled = serve.StateCanceled
+	// JobQuarantined marks a job that exhausted its retry budget; the
+	// daemon keeps it visible but never retries it again.
+	JobQuarantined = serve.StateQuarantined
 )
 
 // EngineVersion identifies the simulation engine's result semantics; it is
@@ -390,8 +397,13 @@ const EngineVersion = sim.EngineVersion
 // Handler to embed it).
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 
-// NewServeClient builds a client for a daemon at addr (host:port or URL).
+// NewServeClient builds a client for a daemon at addr (host:port or URL)
+// with DefaultRetryPolicy installed.
 func NewServeClient(addr string) *ServeClient { return serve.NewClient(addr) }
+
+// DefaultRetryPolicy is the self-healing policy NewServeClient installs:
+// 4 retries under capped, fully-jittered exponential backoff.
+func DefaultRetryPolicy() RetryPolicy { return serve.DefaultRetryPolicy() }
 
 // IsQueueFull reports whether a client error is the daemon's 429
 // backpressure signal, so callers can retry with a delay.
