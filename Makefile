@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve fuzz bench bench-json cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
 
 all: build vet test race
 
@@ -8,7 +8,13 @@ all: build vet test race
 # sweep proving the robustness path stays wired end to end, a daemon smoke
 # proving submit/cache/drain work over a real socket, and the chaos suite
 # proving crash recovery (SIGKILL + torn journals) under the race detector.
+# BENCH_GATE=1 additionally reruns the short engine bench and fails on a
+# slots/s regression against the committed BENCH_sim.json (off by default so
+# the race/chaos suites stay fast and the gate never flakes a loaded box).
 check: vet build test smoke-faults smoke-serve chaos
+ifneq ($(BENCH_GATE),)
+check: bench-gate
+endif
 
 help:
 	@echo "Targets:"
@@ -28,6 +34,8 @@ help:
 	@echo "  bench         go test -bench over every figure benchmark"
 	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
 	@echo "                (make bench-json BENCH_BASELINE=old.json for speedups)"
+	@echo "  bench-gate    short bench vs committed BENCH_sim.json; fails on"
+	@echo "                regression (BENCH_GATE=1 wires it into 'check')"
 	@echo "  cover         go test -cover ./..."
 	@echo "  figures       regenerate every paper figure into results/"
 	@echo "  figures-quick smoke-sized figures"
@@ -128,6 +136,16 @@ BENCH_BASELINE ?=
 bench-json:
 	$(GO) run ./cmd/bench -out BENCH_sim.json \
 		$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# Perf regression gate: rerun the short bench and fail if any workload's
+# slots/s fall more than BENCH_GATE_TOL below the committed BENCH_sim.json.
+# Quick-sized runs amortize per-run setup over 4x fewer slots and share the
+# box with whatever else is running, so the default tolerance is looser than
+# the full-size 10% bar; run `bench -gate BENCH_sim.json` (full size) for a
+# tight check on a quiet machine. Opt into `make check` with BENCH_GATE=1.
+BENCH_GATE_TOL ?= 0.25
+bench-gate:
+	$(GO) run ./cmd/bench -quick -gate BENCH_sim.json -gate-tol $(BENCH_GATE_TOL)
 
 cover:
 	$(GO) test -cover ./...

@@ -6,10 +6,17 @@
 //	bench -out BENCH_sim.json                     # measure current tree
 //	bench -baseline old.json -out BENCH_sim.json  # also embed before/after speedups
 //	bench -quick                                  # smoke-sized (CI)
+//	bench -quick -gate BENCH_sim.json             # fail on >10% slots/s regression
+//	bench -pprof bench                            # bench.cpu.pprof + bench.mem.pprof
 //
 // With -baseline, each benchmark that also appears in the baseline file
 // reports the baseline's slots/sec as "before" alongside the fresh
 // measurement, plus the resulting speedup factor.
+//
+// The file schema is prioritystar-bench/v2: v2 adds per-measurement mode
+// ("sequential" or "batched"), replication counts, and aggregate slots per
+// second for batched multi-replication workloads. v1 files (no batched
+// series) are still accepted by -baseline and -gate.
 package main
 
 import (
@@ -18,30 +25,42 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"prioritystar"
 )
 
 // workload is one benchmark: a topology and operating point, simulated for
-// a fixed number of slots per iteration.
+// a fixed number of slots per iteration. Reps > 0 marks a batched workload:
+// each iteration runs Reps replications through one SimulateBatch call.
 type workload struct {
 	Name string
 	Dims []int
 	Rho  float64
 	Frac float64 // fraction of transmission load from broadcasts
 	Mean float64 // packet length mean (1 = unit lengths)
+	Reps int     // 0 = one sequential replication per iteration
 
 	Warmup, Measure, Drain int64
 }
 
 func (w workload) slots() int64 { return w.Warmup + w.Measure + w.Drain }
 
+// reps returns the replications per iteration (1 for sequential workloads).
+func (w workload) reps() int {
+	if w.Reps > 0 {
+		return w.Reps
+	}
+	return 1
+}
+
 // workloads mirrors the figure benchmarks of bench_test.go, plus the
 // low-rho operating points (rho <= 0.5) where the event-driven engine's
 // advantage over a full link scan is largest — the regime the paper's
-// delay analysis targets.
-func workloads(quick bool) []workload {
+// delay analysis targets — plus the engine-batched/* series measuring the
+// batched multi-replication path at the standard 8x8 workloads.
+func workloads(quick bool, mode string) []workload {
 	scale := int64(1)
 	if quick {
 		scale = 4
@@ -50,7 +69,12 @@ func workloads(quick bool) []workload {
 		return workload{Name: name, Dims: dims, Rho: rho, Frac: frac, Mean: 1,
 			Warmup: warm / scale, Measure: meas / scale, Drain: drain / scale}
 	}
-	return []workload{
+	mkBatch := func(name string, dims []int, rho float64, reps int, meas int64) workload {
+		w := mk(name, dims, rho, 1, 0, meas, 0)
+		w.Reps = reps
+		return w
+	}
+	seq := []workload{
 		mk("engine/8x8/rho0.2", []int{8, 8}, 0.2, 1, 0, 2000, 0),
 		mk("engine/8x8/rho0.9", []int{8, 8}, 0.9, 1, 0, 2000, 0),
 		mk("fig2/reception/8x8/rho0.3", []int{8, 8}, 0.3, 1, 600, 2500, 1200),
@@ -62,17 +86,37 @@ func workloads(quick bool) []workload {
 		mk("fig8/hetero/4x4x8/rho0.5", []int{4, 4, 8}, 0.5, 0.5, 600, 2500, 1200),
 		mk("hypercube8/rho0.5", []int{2, 2, 2, 2, 2, 2, 2, 2}, 0.5, 1, 300, 1200, 600),
 	}
+	batched := []workload{
+		mkBatch("engine-batched/8x8/rho0.2", []int{8, 8}, 0.2, 8, 2000),
+		mkBatch("engine-batched/8x8/rho0.9", []int{8, 8}, 0.9, 8, 2000),
+		mkBatch("engine-batched/16x16/rho0.3", []int{16, 16}, 0.3, 8, 2000),
+	}
+	switch mode {
+	case "sequential":
+		return seq
+	case "batched":
+		return batched
+	default:
+		return append(seq, batched...)
+	}
 }
 
 // Measurement is one benchmark's recorded numbers.
 type Measurement struct {
 	Name         string  `json:"name"`
+	Mode         string  `json:"mode,omitempty"` // "sequential" | "batched" (v2)
+	Reps         int     `json:"reps,omitempty"` // replications per iteration (v2)
 	Iterations   int     `json:"iterations"`
 	NsPerOp      float64 `json:"ns_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	SlotsPerSec  float64 `json:"slots_per_sec"`
 	SlotsPerIter int64   `json:"slots_per_iter"`
+	// AggregateSlotsPerSec is total simulated slots per wall-clock second
+	// summed over every replication an iteration advances: for a batched
+	// workload this is Reps * slots / time, the sweep-facing throughput;
+	// for a sequential one it equals SlotsPerSec. (v2)
+	AggregateSlotsPerSec float64 `json:"aggregate_slots_per_sec,omitempty"`
 
 	// Before/after comparison, present only when -baseline matched.
 	BaselineSlotsPerSec float64 `json:"baseline_slots_per_sec,omitempty"`
@@ -97,6 +141,29 @@ type File struct {
 	Benchmarks []Measurement `json:"benchmarks"`
 }
 
+// schemaV1 and schemaV2 are the accepted file schemas; v2 is written.
+const (
+	schemaV1 = "prioritystar-bench/v1"
+	schemaV2 = "prioritystar-bench/v2"
+)
+
+// loadFile reads and validates a bench JSON document, accepting both the
+// current v2 schema and legacy v1 files.
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	if f.Schema != schemaV1 && f.Schema != schemaV2 {
+		return nil, fmt.Errorf("%s: unknown schema %q (want %s or %s)", path, f.Schema, schemaV1, schemaV2)
+	}
+	return &f, nil
+}
+
 func run(w workload, probe bool) (Measurement, error) {
 	shape, err := prioritystar.NewTorus(w.Dims...)
 	if err != nil {
@@ -110,20 +177,48 @@ func run(w workload, probe bool) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	base := prioritystar.SimConfig{
+		Shape: shape, Scheme: scheme, Rates: rates,
+		Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
+	}
+	// br persists across testing.Benchmark's sizing rounds so the measured
+	// (final) round runs on warm engines — the same steady state the
+	// sequential path gets from the package-level runner pool.
+	var br prioritystar.SimBatchRunner
 	measure := func(attach bool) (testing.BenchmarkResult, error) {
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				var p prioritystar.Probe
-				if attach {
-					p = prioritystar.NewStandardProbes(shape, w.Warmup, w.Measure)
+			if w.Reps > 0 {
+				// Batched: each iteration advances Reps replications
+				// through one SimulateBatch call, reusing the runner's
+				// engines across iterations like a sweep worker would.
+				seeds := make([]uint64, w.Reps)
+				for i := 0; i < b.N; i++ {
+					for r := range seeds {
+						seeds[r] = uint64(i*w.Reps+r) + 1
+					}
+					out, err := br.Run(prioritystar.SimBatch{Base: base, Seeds: seeds})
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					for _, rr := range out {
+						if rr.Err != nil {
+							benchErr = rr.Err
+							b.FailNow()
+						}
+					}
 				}
-				if _, err := prioritystar.Simulate(prioritystar.SimConfig{
-					Shape: shape, Scheme: scheme, Rates: rates, Seed: uint64(i + 1),
-					Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
-					Probe: p,
-				}); err != nil {
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Seed = uint64(i + 1)
+				if attach {
+					cfg.Probe = prioritystar.NewStandardProbes(shape, w.Warmup, w.Measure)
+				}
+				if _, err := prioritystar.Simulate(cfg); err != nil {
 					benchErr = err
 					b.FailNow()
 				}
@@ -135,16 +230,27 @@ func run(w workload, probe bool) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	aggSlots := float64(w.slots()) * float64(w.reps())
 	m := Measurement{
-		Name:         w.Name,
-		Iterations:   r.N,
-		NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:   r.AllocedBytesPerOp(),
-		AllocsPerOp:  r.AllocsPerOp(),
-		SlotsPerSec:  float64(w.slots()) * float64(r.N) / r.T.Seconds(),
-		SlotsPerIter: w.slots(),
+		Name:                 w.Name,
+		Mode:                 "sequential",
+		Reps:                 w.reps(),
+		Iterations:           r.N,
+		NsPerOp:              float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:           r.AllocedBytesPerOp(),
+		AllocsPerOp:          r.AllocsPerOp(),
+		SlotsPerSec:          float64(w.slots()) * float64(r.N) / r.T.Seconds(),
+		SlotsPerIter:         w.slots(),
+		AggregateSlotsPerSec: aggSlots * float64(r.N) / r.T.Seconds(),
 	}
-	if probe {
+	if w.Reps > 0 {
+		m.Mode = "batched"
+		// For a batched workload the headline slots/s is the aggregate:
+		// total simulated slots across all replications per wall second.
+		m.SlotsPerSec = m.AggregateSlotsPerSec
+		m.SlotsPerIter = w.slots() * int64(w.Reps)
+	}
+	if probe && w.Reps == 0 {
 		pr, err := measure(true)
 		if err != nil {
 			return Measurement{}, err
@@ -155,23 +261,52 @@ func run(w workload, probe bool) (Measurement, error) {
 	return m, nil
 }
 
+// gateCheck compares fresh measurements against the committed floor file:
+// any workload present in both whose fresh slots/s fall more than tol below
+// the committed number is a regression.
+func gateCheck(fresh []Measurement, committed *File, tol float64) []string {
+	floor := make(map[string]Measurement, len(committed.Benchmarks))
+	for _, m := range committed.Benchmarks {
+		floor[m.Name] = m
+	}
+	var failures []string
+	for _, m := range fresh {
+		c, ok := floor[m.Name]
+		if !ok || c.SlotsPerSec <= 0 {
+			continue
+		}
+		if m.SlotsPerSec < (1-tol)*c.SlotsPerSec {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f slots/s is %.1f%% below committed %.0f (tolerance %.0f%%)",
+				m.Name, m.SlotsPerSec, 100*(1-m.SlotsPerSec/c.SlotsPerSec), c.SlotsPerSec, 100*tol))
+		}
+	}
+	return failures
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "previous BENCH_sim.json to embed as the 'before' numbers")
 	quick := flag.Bool("quick", false, "smoke-sized workloads (4x fewer slots)")
 	probe := flag.Bool("probe", false, "also measure each workload with the standard probe bundle attached")
+	mode := flag.String("mode", "both", "which series to run: sequential, batched, or both")
+	gate := flag.String("gate", "", "committed BENCH_sim.json to regression-gate against (exit 1 on regression; skips -out)")
+	gateTol := flag.Float64("gate-tol", 0.10, "fractional slots/s regression tolerated by -gate")
+	pprofOut := flag.String("pprof", "", "profile prefix: writes PREFIX.cpu.pprof and PREFIX.mem.pprof")
 	flag.Parse()
+
+	switch *mode {
+	case "sequential", "batched", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown -mode %q (want sequential, batched, or both)\n", *mode)
+		os.Exit(2)
+	}
 
 	var before map[string]Measurement
 	if *baseline != "" {
-		data, err := os.ReadFile(*baseline)
+		f, err := loadFile(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
-		}
-		var f File
-		if err := json.Unmarshal(data, &f); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: parsing %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
 		before = make(map[string]Measurement, len(f.Benchmarks))
@@ -179,15 +314,50 @@ func main() {
 			before[m.Name] = m
 		}
 	}
+	var gateFloor *File
+	if *gate != "" {
+		f, err := loadFile(*gate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		gateFloor = f
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			mf, err := os.Create(*pprofOut + ".mem.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+			}
+		}()
+	}
 
 	file := File{
-		Schema:    "prioritystar-bench/v1",
+		Schema:    schemaV2,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Quick:     *quick,
 	}
-	for _, w := range workloads(*quick) {
+	for _, w := range workloads(*quick, *mode) {
 		m, err := run(w, *probe)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", w.Name, err)
@@ -210,6 +380,19 @@ func main() {
 		default:
 			fmt.Printf("%-32s %12.0f slots/s  %8d allocs/op\n", m.Name, m.SlotsPerSec, m.AllocsPerOp)
 		}
+	}
+
+	if gateFloor != nil {
+		failures := gateCheck(file.Benchmarks, gateFloor, *gateTol)
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench: gate passed (%d workloads within %.0f%% of %s)\n",
+			len(file.Benchmarks), 100**gateTol, *gate)
+		return
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")

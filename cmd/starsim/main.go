@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"prioritystar"
@@ -37,9 +39,9 @@ var errPartial = errors.New("some replications failed or diverged; aggregates ar
 // options collects the flags shared by the sweep and the instrumented-run
 // paths: the workload itself plus robustness and output knobs.
 type options struct {
-	w                      cli.Workload
-	csv, dump, dimReport   bool
-	metricsJSON            string
+	w                    cli.Workload
+	csv, dump, dimReport bool
+	metricsJSON          string
 
 	faultsStr  string
 	timeout    time.Duration
@@ -94,14 +96,22 @@ func main() {
 		"replay the -checkpoint journal and run only what it is missing")
 	specFlag := flag.String("spec", "", "run a JSON experiment spec file (overrides workload flags)")
 	dumpFlag := flag.Bool("dump-spec", false, "print the experiment as a JSON spec instead of running")
+	pprofFlag := flag.String("pprof", "",
+		"profile prefix: write PREFIX.cpu.pprof and PREFIX.mem.pprof for the run")
 	flag.Parse()
 	o.dump = *dumpFlag
-	err := func() error {
+	stopProf, err := startProfiles(*pprofFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "starsim:", err)
+		os.Exit(1)
+	}
+	err = func() error {
 		if *specFlag != "" {
 			return runSpec(*specFlag, o)
 		}
 		return run(o)
 	}()
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "starsim:", err)
 		if errors.Is(err, errPartial) {
@@ -109,6 +119,37 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// startProfiles arms CPU and heap profiling when prefix is non-empty. The
+// returned stop function finalizes both files; it is safe to call when
+// profiling was never started.
+func startProfiles(prefix string) (stop func(), err error) {
+	if prefix == "" {
+		return func() {}, nil
+	}
+	cf, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cf.Close()
+		mf, err := os.Create(prefix + ".mem.pprof")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "starsim:", err)
+			return
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fmt.Fprintln(os.Stderr, "starsim:", err)
+		}
+	}, nil
 }
 
 // runSpec loads and executes a JSON experiment spec file.

@@ -13,18 +13,19 @@ import (
 // psctl (which submits it to a starsimd daemon). Register installs the
 // flags; Experiment resolves them into a sweep.Experiment.
 type Workload struct {
-	Shape  string
-	Scheme string
-	Rho    float64
-	Sweep  string
-	Frac   float64
-	Len    string
-	Seed   uint64
-	Warmup int64
+	Shape   string
+	Scheme  string
+	Rho     float64
+	Sweep   string
+	Frac    float64
+	Len     string
+	Seed    uint64
+	Warmup  int64
 	Measure int64
-	Drain  int64
-	Reps   int
-	Floor  bool
+	Drain   int64
+	Reps    int
+	Floor   bool
+	Exec    string
 }
 
 // Register installs the workload flags on fs with starsim's defaults.
@@ -41,6 +42,7 @@ func (w *Workload) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&w.Drain, "drain", 4000, "drain slots")
 	fs.IntVar(&w.Reps, "reps", 3, "replications per sweep point")
 	fs.BoolVar(&w.Floor, "floor", false, "use the paper's floor(n/4) distance model")
+	fs.StringVar(&w.Exec, "exec", "batched", "replication dispatch: batched or sequential (bit-identical results)")
 }
 
 // Experiment resolves the flags into an experiment with the given labels.
@@ -67,6 +69,14 @@ func (w *Workload) Experiment(id, title string) (*sweep.Experiment, error) {
 	if w.Floor {
 		model = balance.PaperFloorDistance
 	}
+	exec := sweep.ExecBatched
+	switch w.Exec {
+	case "", "batched":
+	case "sequential":
+		exec = sweep.ExecSequential
+	default:
+		return nil, fmt.Errorf("unknown -exec mode %q (want batched or sequential)", w.Exec)
+	}
 	if title == "" {
 		title = fmt.Sprintf("%s on %s", w.Scheme, w.Shape)
 	}
@@ -77,5 +87,6 @@ func (w *Workload) Experiment(id, title string) (*sweep.Experiment, error) {
 		Length:  length, Model: model,
 		Warmup: w.Warmup, Measure: w.Measure, Drain: w.Drain,
 		Reps: w.Reps, BaseSeed: w.Seed,
+		Execution: exec,
 	}, nil
 }

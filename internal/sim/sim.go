@@ -371,9 +371,9 @@ type engine struct {
 	horizon int64
 
 	queues    []queue.MultiClass[packet]
-	classes   int     // priority classes per queue (for reuse checks)
-	busyUntil []int64 // slot at which each link's transmission completes
-	busySlots []int64 // busy slots within the window, per link
+	classes   int          // priority classes per queue (for reuse checks)
+	busyUntil []int64      // slot at which each link's transmission completes
+	busySlots []int64      // busy slots within the window, per link
 	linkDst   []torus.Node // shared per-shape table (torus.LinkTables)
 	linkDim   []int32      // shared per-shape table (torus.LinkTables)
 
@@ -413,6 +413,14 @@ type engine struct {
 	fwheel   [][]torus.LinkID
 	adaptCur torus.Node // current node for the downFn closure
 	downFn   func(dim int, dir torus.Dir) bool
+
+	// arena, when non-nil, supplies the bulk per-replication buffers
+	// (busyUntil, busySlots, inflight, ready bitmap) from a contiguous
+	// struct-of-arrays block shared by every replication of a batch, so the
+	// batched runner's lockstep sweep streams through adjacent memory
+	// instead of pointer-chasing a cold heap per rep. nil (the sequential
+	// runners) falls back to plain make.
+	arena *batchArena
 
 	// Guard state, resolved from cfg.Guard by reset.
 	guardOn      bool
@@ -487,6 +495,39 @@ func (e *engine) release() {
 	e.ctx = nil
 }
 
+// Recover re-arms a Runner after a panic escaped one of its runs, keeping
+// the warm bulk buffers (queues, timing wheel, busy tables) instead of
+// discarding them. A panic can only interrupt the engine between statements,
+// so every buffer keeps its structural invariants (slice lengths, ring
+// bounds); the stale *contents* are exactly what reset() rebuilds at the
+// start of the next run. Callers that recover a panic from Run should call
+// Recover before reusing the Runner; sweep workers do, so one poisoned
+// replication no longer costs the worker a cold reallocation of every
+// buffer for its remaining work.
+func (r *Runner) Recover() {
+	e := &r.e
+	for i := range e.queues {
+		e.queues[i].Reset()
+	}
+	if e.wheel != nil {
+		for i := range e.wheel {
+			e.wheel[i] = e.wheel[i][:0]
+		}
+	}
+	if e.fwheel != nil {
+		for i := range e.fwheel {
+			e.fwheel[i] = e.fwheel[i][:0]
+		}
+	}
+	clear(e.busyUntil)
+	clear(e.busySlots)
+	clear(e.ready.l0)
+	clear(e.ready.l1)
+	e.tasks = e.tasks[:0]
+	e.freeTasks = e.freeTasks[:0]
+	e.release()
+}
+
 // reset prepares the engine for cfg, reusing buffers from any previous run
 // when the link-slot count and class count match. It fails only when the
 // fault schedule does not compile against the shape.
@@ -528,15 +569,15 @@ func (e *engine) reset(cfg Config) error {
 		clear(e.busyUntil)
 		clear(e.busySlots)
 	} else {
-		e.busyUntil = make([]int64, slots)
-		e.busySlots = make([]int64, slots)
+		e.busyUntil = e.arena.int64s(slots)
+		e.busySlots = e.arena.int64s(slots)
 	}
-	e.ready.init(slots)
+	e.ready.init(slots, e.arena)
 	e.linkDst, e.linkDim = e.s.LinkTables()
 	if len(e.inflight) != slots {
 		// No clearing on reuse: an inflight slot is read only when the
 		// wheel holds the link's ID, and the wheel is truncated below.
-		e.inflight = make([]packet, slots)
+		e.inflight = e.arena.packets(slots)
 	}
 	if e.wheel == nil {
 		e.wheel = make([][]torus.LinkID, wheelSize)
@@ -609,60 +650,76 @@ func (e *engine) adaptDown(dim int, dir torus.Dir) bool {
 // when Config.Context is cancelled; every other early exit is reported
 // through Result.Status.
 func (e *engine) run() error {
-	for e.now = 0; e.now < e.horizon; e.now++ {
-		if e.checkWall && e.now&1023 == 0 {
-			if e.ctx != nil {
-				select {
-				case <-e.ctx.Done():
-					return e.ctx.Err()
-				default:
-				}
-			}
-			if !e.deadline.IsZero() && time.Now().After(e.deadline) {
-				e.res.Status = StatusTimeout
-				return nil
-			}
-		}
-		if e.now == e.wStart {
-			e.res.BacklogStart = e.backlog
-		}
-		e.deliverArrivals()
-		if e.faults != nil {
-			e.processRecoveries()
-		}
-		e.generate()
-		e.serviceReady()
-		if e.probe != nil {
-			e.probe.SlotEnd(e.now, e.backlog)
-		}
-		if e.now == e.wEnd-1 {
-			e.res.BacklogEnd = e.backlog
-		}
-		if e.now >= e.wStart && e.now < e.wEnd {
-			quarter := (e.cfg.Measure + 3) / 4
-			switch {
-			case e.now < e.wStart+quarter:
-				e.firstQSum += float64(e.backlog)
-				e.firstQCount++
-			case e.now >= e.wEnd-quarter:
-				e.lastQSum += float64(e.backlog)
-				e.lastQCount++
-			}
-		}
-		if e.backlog > e.res.MaxBacklog {
-			e.res.MaxBacklog = e.backlog
-		}
-		if e.backlog > e.maxBack {
-			e.res.Truncated = true
-			e.res.Status = StatusTruncated
-			return nil
-		}
-		if e.guardOn && e.diverged() {
-			e.res.Status = StatusDiverged
-			return nil
+	for {
+		done, err := e.step()
+		if done || err != nil {
+			return err
 		}
 	}
-	return nil
+}
+
+// step advances the simulation by exactly one slot and reports whether the
+// run is over (horizon reached, or an early exit recorded in Result.Status).
+// It is the unit of progress the batched runner interleaves across
+// replications; run() is just a loop over it, so sequential and batched
+// trajectories are identical by construction.
+func (e *engine) step() (done bool, err error) {
+	if e.now >= e.horizon {
+		return true, nil
+	}
+	if e.checkWall && e.now&1023 == 0 {
+		if e.ctx != nil {
+			select {
+			case <-e.ctx.Done():
+				return true, e.ctx.Err()
+			default:
+			}
+		}
+		if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+			e.res.Status = StatusTimeout
+			return true, nil
+		}
+	}
+	if e.now == e.wStart {
+		e.res.BacklogStart = e.backlog
+	}
+	e.deliverArrivals()
+	if e.faults != nil {
+		e.processRecoveries()
+	}
+	e.generate()
+	e.serviceReady()
+	if e.probe != nil {
+		e.probe.SlotEnd(e.now, e.backlog)
+	}
+	if e.now == e.wEnd-1 {
+		e.res.BacklogEnd = e.backlog
+	}
+	if e.now >= e.wStart && e.now < e.wEnd {
+		quarter := (e.cfg.Measure + 3) / 4
+		switch {
+		case e.now < e.wStart+quarter:
+			e.firstQSum += float64(e.backlog)
+			e.firstQCount++
+		case e.now >= e.wEnd-quarter:
+			e.lastQSum += float64(e.backlog)
+			e.lastQCount++
+		}
+	}
+	if e.backlog > e.res.MaxBacklog {
+		e.res.MaxBacklog = e.backlog
+	}
+	if e.backlog > e.maxBack {
+		e.res.Truncated = true
+		e.res.Status = StatusTruncated
+		return true, nil
+	}
+	if e.guardOn && e.diverged() {
+		e.res.Status = StatusDiverged
+		return true, nil
+	}
+	e.now++
+	return e.now >= e.horizon, nil
 }
 
 // diverged runs the watchdog checks for the slot that just finished. It only
@@ -736,8 +793,9 @@ type linkBitmap struct {
 
 // init sizes the bitmap for the given number of link slots, reusing the
 // previous words when the size matches (they are always left cleared by
-// sweep, but clear defensively so a truncated run cannot leak marks).
-func (b *linkBitmap) init(slots int) {
+// sweep, but clear defensively so a truncated run cannot leak marks). A
+// non-nil arena supplies the words from the batch's shared SoA block.
+func (b *linkBitmap) init(slots int, a *batchArena) {
 	w0 := (slots + 63) / 64
 	w1 := (w0 + 63) / 64
 	if len(b.l0) == w0 {
@@ -745,8 +803,8 @@ func (b *linkBitmap) init(slots int) {
 		clear(b.l1)
 		return
 	}
-	b.l0 = make([]uint64, w0)
-	b.l1 = make([]uint64, w1)
+	b.l0 = a.uint64s(w0)
+	b.l1 = a.uint64s(w1)
 }
 
 func (b *linkBitmap) set(l torus.LinkID) {

@@ -44,8 +44,10 @@ func Canonical(e *sweep.Experiment) ([]byte, error) {
 func Fingerprint(e *sweep.Experiment) (string, error) {
 	doc := FromSweep(e)
 	// Human labels don't change results; a renamed experiment must still
-	// hit the cache.
-	doc.ID, doc.Title, doc.Notes = "", "", ""
+	// hit the cache. Neither does the dispatch mode — batched and
+	// sequential execution are bit-identical, so a batched re-run of a
+	// sequentially-computed experiment hits the cache too.
+	doc.ID, doc.Title, doc.Notes, doc.Execution = "", "", "", ""
 	b, err := json.Marshal(doc)
 	if err != nil {
 		return "", fmt.Errorf("spec: canonical encoding: %w", err)

@@ -118,6 +118,7 @@ func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
 	m.Checkpoint = "/tmp/ckpt.jsonl"
 	m.Resume = true
 	m.Progress = func(done, total int) {}
+	m.Execution = sweep.ExecSequential // bit-identical dispatch modes share a fingerprint
 	got, err := Fingerprint(m)
 	if err != nil {
 		t.Fatal(err)

@@ -50,6 +50,13 @@ type Experiment struct {
 	// of the spec and of Fingerprint.
 	MaxBacklog int64 `json:"maxBacklog,omitempty"`
 
+	// Execution selects the dispatch mode: "batched" (default; one
+	// multi-replication batch per sweep cell) or "sequential" (one
+	// Runner.Run per replication). Both produce bit-identical results, so
+	// the field is kept out of Fingerprint — it only tunes how the work is
+	// scheduled.
+	Execution string `json:"execution,omitempty"`
+
 	// Faults is a fault-schedule description in the -faults CLI syntax
 	// (e.g. "perm:2,trans:500/50,seed:7"); empty means a fault-free run.
 	Faults string `json:"faults,omitempty"`
@@ -147,6 +154,14 @@ func (e *Experiment) ToSweep() (*sweep.Experiment, error) {
 	default:
 		return nil, fmt.Errorf("spec: unknown distance model %q", e.Model)
 	}
+	switch strings.ToLower(e.Execution) {
+	case "", "batched":
+		out.Execution = sweep.ExecBatched
+	case "sequential":
+		out.Execution = sweep.ExecSequential
+	default:
+		return nil, fmt.Errorf("spec: unknown execution mode %q", e.Execution)
+	}
 	if e.Faults != "" {
 		f, err := cli.ParseFaults(e.Faults)
 		if err != nil {
@@ -223,6 +238,9 @@ func FromSweep(e *sweep.Experiment) *Experiment {
 		out.Model = "floor"
 	} else {
 		out.Model = "exact"
+	}
+	if e.Execution == sweep.ExecSequential {
+		out.Execution = "sequential"
 	}
 	out.Faults = e.Faults.String()
 	if e.Guard.DivergeBacklog != 0 || e.Guard.GrowthWindow != 0 ||

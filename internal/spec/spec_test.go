@@ -75,6 +75,7 @@ func TestLoadErrors(t *testing.T) {
 		`{"id":"x","dims":[4],"rhos":[0.5],"schemes":[{"rotation":"weird"}],"measure":10,"reps":1}`,
 		`{"id":"x","dims":[4],"rhos":[0.5],"schemes":[{"name":"priority-star"}],"length":"geom:0.2","measure":10,"reps":1}`,
 		`{"id":"x","dims":[4],"rhos":[0.5],"schemes":[{"name":"priority-star"}],"model":"weird","measure":10,"reps":1}`,
+		`{"id":"x","dims":[4],"rhos":[0.5],"schemes":[{"name":"priority-star"}],"execution":"turbo","measure":10,"reps":1}`,
 		`{"unknownField": 3}`, // unknown fields rejected
 	}
 	for i, c := range cases {
@@ -109,6 +110,37 @@ func TestRoundTrip(t *testing.T) {
 			back.Schemes[i].SeparateBalance != orig.Schemes[i].SeparateBalance {
 			t.Errorf("scheme %d mismatch: %+v vs %+v", i, orig.Schemes[i], back.Schemes[i])
 		}
+	}
+}
+
+// TestExecutionRoundTrip: the dispatch knob defaults to batched, parses
+// either mode, and survives Save/Load (so WAL-replayed daemon jobs keep it).
+func TestExecutionRoundTrip(t *testing.T) {
+	def, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Execution != sweep.ExecBatched {
+		t.Errorf("default execution = %v, want batched", def.Execution)
+	}
+	seq := strings.Replace(sample, `"id": "my-sweep",`, `"id": "my-sweep", "execution": "sequential",`, 1)
+	orig, err := Load(strings.NewReader(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Execution != sweep.ExecSequential {
+		t.Fatalf("execution = %v, want sequential", orig.Execution)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Execution != sweep.ExecSequential {
+		t.Errorf("execution lost in round trip: %v", back.Execution)
 	}
 }
 

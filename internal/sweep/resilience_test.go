@@ -139,8 +139,9 @@ func TestResumeWithMissingJournalStartsFresh(t *testing.T) {
 	}
 }
 
-// TestRunSafeRecoversPanics: a panicking simulation becomes an error and the
-// worker's Runner is replaced so later runs are unaffected.
+// TestRunSafeRecoversPanics: a panicking simulation becomes an error, the
+// worker's Runner is kept (its warm buffers recovered in place, no cold
+// reallocation for every later point), and later runs on it are unaffected.
 func TestRunSafeRecoversPanics(t *testing.T) {
 	shape := torus.MustNew(4, 4)
 	rates, err := traffic.RatesForRho(shape, 0.3, 1, 1, balance.ExactDistance)
@@ -165,13 +166,101 @@ func TestRunSafeRecoversPanics(t *testing.T) {
 	if res != nil {
 		t.Error("panicked run returned a result")
 	}
-	if runner == before {
-		t.Error("poisoned Runner was not replaced")
+	if runner != before {
+		t.Error("Runner was replaced instead of recovered in place")
 	}
 	cfg.OnDeliver = nil
 	good, err := runSafe(&runner, cfg)
 	if err != nil || good == nil {
-		t.Fatalf("replacement runner failed: %v", err)
+		t.Fatalf("recovered runner failed: %v", err)
+	}
+
+	// The recovered runner must also still be deterministic: same config on a
+	// fresh Runner yields the same result.
+	ref, err := new(sim.Runner).Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.GeneratedBroadcasts != ref.GeneratedBroadcasts || good.Reception.Mean() != ref.Reception.Mean() {
+		t.Errorf("recovered runner diverged from fresh runner: %+v vs %+v", good, ref)
+	}
+}
+
+// TestExecutionModesBitIdentical: the batched dispatch (the default) and the
+// historical per-rep sequential dispatch must produce the exact same point
+// table — same seeds per rep, same Result fields, same float formatting.
+func TestExecutionModesBitIdentical(t *testing.T) {
+	seq := tinyExperiment()
+	seq.Execution = ExecSequential
+	sres, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat := tinyExperiment()
+	bat.Execution = ExecBatched
+	bat.Workers = 3 // uneven split across the 4 cells
+	bres, err := bat.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tableFingerprint(bres), tableFingerprint(sres); got != want {
+		t.Errorf("batched sweep differs from sequential:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResumeLandsMidBatch: a crash that journals only some replications of a
+// (scheme, rho) cell forces the resumed batched sweep to dispatch a partial
+// batch for that cell — only the missing reps, with their original seeds.
+func TestResumeLandsMidBatch(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Experiment {
+		e := tinyExperiment()
+		e.Reps = 4 // big enough cells that a truncation lands inside one
+		return e
+	}
+
+	ref, err := mk().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableFingerprint(ref)
+
+	full := mk()
+	full.Checkpoint = filepath.Join(dir, "full.jsonl")
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the header plus 6 records: cell (0,0) complete (4 reps) and cell
+	// (0,1) half done (2 of 4), so the resume must run a 2-rep partial batch
+	// for (0,1) and full batches for the untouched cells.
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	partial := filepath.Join(dir, "midbatch.jsonl")
+	if err := os.WriteFile(partial, []byte(strings.Join(lines[:7], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := mk()
+	resumed.Checkpoint = partial
+	resumed.Resume = true
+	ran := 0
+	resumed.Progress = func(done, total int) { ran = total }
+	rres, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeGrid := len(resumed.Schemes) * len(resumed.Rhos) * resumed.Reps
+	if missing := wholeGrid - 6; ran != missing {
+		t.Errorf("resume ran %d replications, want %d (journal covered 6)", ran, missing)
+	}
+	if got := tableFingerprint(rres); got != want {
+		t.Errorf("mid-batch resume differs from uninterrupted:\n%s\nvs\n%s", got, want)
 	}
 }
 

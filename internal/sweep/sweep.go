@@ -70,6 +70,40 @@ func (spec SchemeSpec) Build(s *torus.Shape, rates traffic.Rates, m balance.Dist
 	return core.NewScheme(s, spec.Discipline, spec.Rotation, rates, m)
 }
 
+// Execution selects how a sweep dispatches its replications to the engine.
+// The two modes produce bit-identical per-replication results (enforced by
+// the differential tests in internal/sim) and identical aggregates; the
+// knob trades dispatch granularity for cache locality and is therefore
+// excluded from spec.Fingerprint.
+type Execution int
+
+const (
+	// ExecBatched (the default) dispatches each (scheme, rho) cell as
+	// sim.Batches of up to maxBatchReps replications: the batch advances
+	// through one pass sharing the immutable topology and scheme tables,
+	// with per-rep state in a struct-of-arrays layout. Leftover pool
+	// parallelism (when the sweep has fewer batches than workers) is
+	// pushed inside the batches as rep stripes.
+	ExecBatched Execution = iota
+	// ExecSequential is the historical path: every replication is its own
+	// job on the worker pool, each executed by a sequential sim.Runner.
+	ExecSequential
+)
+
+// maxBatchReps bounds the replications per dispatched batch. Lockstep
+// replications complete together, so the bound caps both how much a crash
+// can lose between checkpoint-journal appends and how much per-rep state
+// the lockstep pass drags through the cache.
+const maxBatchReps = 8
+
+// String names the execution mode.
+func (x Execution) String() string {
+	if x == ExecSequential {
+		return "sequential"
+	}
+	return "batched"
+}
+
 // Experiment describes one sweep: a topology, a traffic mix, a rho grid,
 // and the schemes to compare.
 type Experiment struct {
@@ -91,6 +125,12 @@ type Experiment struct {
 	MaxBacklog             int64
 	// Workers bounds simulation parallelism; 0 means GOMAXPROCS.
 	Workers int
+
+	// Execution selects the dispatch mode: ExecBatched (default) runs each
+	// (scheme, rho) cell as one batched multi-replication pass,
+	// ExecSequential keeps one job per replication. Results are
+	// bit-identical either way, so the knob is outside spec.Fingerprint.
+	Execution Execution
 
 	// Faults applies one deterministic fault schedule (see internal/fault)
 	// to every replication. nil or empty keeps runs fault-free.
@@ -225,17 +265,31 @@ func (e *Experiment) makeRecord(shape *torus.Shape, k repKey, res *sim.Result) r
 	return rec
 }
 
-// runSafe executes one simulation, converting a panic into an error. A panic
-// leaves the Runner's recycled buffers in an unknown state, so the worker's
-// Runner is replaced wholesale.
+// runSafe executes one simulation, converting a panic into an error. The
+// worker's Runner is re-armed in place (sim.Runner.Recover) so its warm
+// buffers survive: one poisoned replication no longer leaves the worker
+// re-allocating cold queues and wheels for every point it runs afterwards.
 func runSafe(runner **sim.Runner, cfg sim.Config) (res *sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			*runner = new(sim.Runner)
+			recoverRunner(runner)
 			err = fmt.Errorf("sweep: simulation panicked: %v", r)
 		}
 	}()
 	return (*runner).Run(cfg)
+}
+
+// recoverRunner re-arms a panicked worker's Runner, keeping its buffers. If
+// Recover itself panics — the buffers are corrupt beyond the structural
+// invariants it relies on — the Runner is replaced wholesale as a last
+// resort, restoring the historical behavior.
+func recoverRunner(runner **sim.Runner) {
+	defer func() {
+		if recover() != nil {
+			*runner = new(sim.Runner)
+		}
+	}()
+	(*runner).Recover()
 }
 
 // Run executes every (scheme, rho, rep) simulation, fanning out across a
@@ -286,11 +340,18 @@ func (e *Experiment) Run() (*Result, error) {
 	}
 	resumed := len(records)
 
+	// A job is one (scheme, rho) cell's outstanding replications. In
+	// batched mode the whole cell is dispatched as one sim.Batch; in
+	// sequential mode each cell is pre-split into single-rep jobs below, so
+	// the worker pool sees the historical per-replication granularity.
 	type job struct {
-		key repKey
-		cfg sim.Config
+		si, ri int
+		cfg    sim.Config // template; Seed substituted per rep
+		reps   []int      // replication indices still to run
+		seeds  []uint64   // matching seeds (same derivation as ever)
 	}
 	var jobs []job
+	totalReps := 0
 	for si, spec := range e.Schemes {
 		for ri, rho := range e.Rhos {
 			rates, err := traffic.RatesForRho(shape, rho, e.BroadcastFrac, e.Length.Mean(), e.Model)
@@ -301,24 +362,54 @@ func (e *Experiment) Run() (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep %q, scheme %q: %w", e.ID, spec.Name, err)
 			}
+			cell := job{si: si, ri: ri, cfg: sim.Config{
+				Shape: shape, Scheme: sch, Rates: rates,
+				Length: e.Length,
+				Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
+				MaxBacklog: e.MaxBacklog,
+				Faults:     e.Faults,
+				Guard:      e.Guard,
+				Context:    e.Context,
+			}}
 			for rep := 0; rep < e.Reps; rep++ {
-				key := repKey{si, ri, rep}
-				if _, ok := records[key]; ok {
+				if _, ok := records[repKey{si, ri, rep}]; ok {
 					continue // already journaled by a previous run
 				}
 				seed := e.BaseSeed ^ (uint64(si)+1)<<40 ^ (uint64(ri)+1)<<20 ^ uint64(rep+1)
-				jobs = append(jobs, job{
-					key: key,
-					cfg: sim.Config{
-						Shape: shape, Scheme: sch, Rates: rates,
-						Length: e.Length, Seed: seed,
-						Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
-						MaxBacklog: e.MaxBacklog,
-						Faults:     e.Faults,
-						Guard:      e.Guard,
-						Context:    e.Context,
-					},
-				})
+				cell.reps = append(cell.reps, rep)
+				cell.seeds = append(cell.seeds, seed)
+			}
+			if len(cell.reps) == 0 {
+				continue // cell fully covered by the checkpoint journal
+			}
+			totalReps += len(cell.reps)
+			if e.Execution == ExecSequential {
+				for i := range cell.reps {
+					jobs = append(jobs, job{
+						si: si, ri: ri, cfg: cell.cfg,
+						reps:  cell.reps[i : i+1],
+						seeds: cell.seeds[i : i+1],
+					})
+				}
+			} else {
+				// Chunk big cells: lockstep replications all finish
+				// together, so an unbounded batch would journal nothing
+				// until the whole cell completed (a crash loses the entire
+				// cell) and would drag a reps-sized working set through the
+				// cache. Bounded chunks keep checkpoint granularity and
+				// cache locality while still sharing the scheme tables and
+				// arena across the chunk.
+				for lo := 0; lo < len(cell.reps); lo += maxBatchReps {
+					hi := lo + maxBatchReps
+					if hi > len(cell.reps) {
+						hi = len(cell.reps)
+					}
+					jobs = append(jobs, job{
+						si: si, ri: ri, cfg: cell.cfg,
+						reps:  cell.reps[lo:hi],
+						seeds: cell.seeds[lo:hi],
+					})
+				}
 			}
 		}
 	}
@@ -327,30 +418,62 @@ func (e *Experiment) Run() (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	poolWorkers := workers
+	if poolWorkers > len(jobs) {
+		poolWorkers = len(jobs)
+	}
+	// When a batched sweep has fewer cells than the worker budget, the
+	// leftover parallelism moves inside each batch as rep stripes, so a
+	// one-cell many-rep experiment still uses the whole machine.
+	batchWorkers := 1
+	if e.Execution != ExecSequential && len(jobs) > 0 {
+		if batchWorkers = workers / len(jobs); batchWorkers < 1 {
+			batchWorkers = 1
+		}
 	}
 
 	type outcome struct {
-		key repKey
-		res *sim.Result
-		err error
+		si, ri int
+		reps   []int
+		outs   []sim.RepResult
 	}
 	start := time.Now()
 	jobCh := make(chan job)
 	outCh := make(chan outcome)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < poolWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Each worker owns a Runner so queue/wheel buffers are
-			// allocated once and reused across its replications; runSafe
-			// replaces it after a panic.
+			// Each worker owns its engines (a BatchRunner or a Runner) so
+			// queue/wheel buffers are allocated once and reused across all
+			// the cells it processes.
+			var br sim.BatchRunner
 			runner := new(sim.Runner)
 			for j := range jobCh {
-				res, err := runSafe(&runner, j.cfg)
-				outCh <- outcome{key: j.key, res: res, err: err}
+				var outs []sim.RepResult
+				if e.Execution == ExecSequential {
+					outs = make([]sim.RepResult, len(j.seeds))
+					for i, seed := range j.seeds {
+						cfg := j.cfg
+						cfg.Seed = seed
+						res, err := runSafe(&runner, cfg)
+						outs[i] = sim.RepResult{Result: res, Err: err}
+					}
+				} else {
+					var err error
+					outs, err = br.Run(sim.Batch{Base: j.cfg, Seeds: j.seeds, Workers: batchWorkers})
+					if err != nil {
+						// Up-front validation failure: every rep of the
+						// cell fails identically, mirroring what each
+						// sequential Runner.Run would have reported.
+						outs = make([]sim.RepResult, len(j.seeds))
+						for i := range outs {
+							outs[i] = sim.RepResult{Err: err}
+						}
+					}
+				}
+				outCh <- outcome{si: j.si, ri: j.ri, reps: j.reps, outs: outs}
 			}
 		}()
 	}
@@ -366,29 +489,33 @@ func (e *Experiment) Run() (*Result, error) {
 	var ctxErr error
 	done := 0
 	for out := range outCh {
-		done++
-		if e.Progress != nil {
-			e.Progress(done, len(jobs))
-		}
-		if out.err != nil {
-			if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
-				// Cancellation, not a per-rep failure: abort (after
-				// draining outCh so the workers can exit).
-				if ctxErr == nil {
-					ctxErr = out.err
+		for i, rep := range out.reps {
+			done++
+			if e.Progress != nil {
+				e.Progress(done, totalReps)
+			}
+			key := repKey{out.si, out.ri, rep}
+			rr := out.outs[i]
+			if rr.Err != nil {
+				if errors.Is(rr.Err, context.Canceled) || errors.Is(rr.Err, context.DeadlineExceeded) {
+					// Cancellation, not a per-rep failure: abort (after
+					// draining outCh so the workers can exit).
+					if ctxErr == nil {
+						ctxErr = rr.Err
+					}
+					continue
 				}
-				continue
+				records[key] = repRecord{
+					Scheme: key.scheme, Rho: key.rho, Rep: key.rep,
+					Err: rr.Err.Error(),
+				}
+			} else {
+				records[key] = e.makeRecord(shape, key, rr.Result)
 			}
-			records[out.key] = repRecord{
-				Scheme: out.key.scheme, Rho: out.key.rho, Rep: out.key.rep,
-				Err: out.err.Error(),
-			}
-		} else {
-			records[out.key] = e.makeRecord(shape, out.key, out.res)
-		}
-		if jnl != nil {
-			if err := jnl.append(records[out.key]); err != nil {
-				return nil, fmt.Errorf("sweep: writing checkpoint: %w", err)
+			if jnl != nil {
+				if err := jnl.append(records[key]); err != nil {
+					return nil, fmt.Errorf("sweep: writing checkpoint: %w", err)
+				}
 			}
 		}
 	}

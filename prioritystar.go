@@ -87,6 +87,14 @@ type (
 	// SimRunner executes simulations while reusing internal buffers
 	// across runs; give each worker goroutine its own.
 	SimRunner = sim.Runner
+	// SimBatch describes R replications of one operating point (a shared
+	// config template plus one seed per replication) for SimulateBatch.
+	SimBatch = sim.Batch
+	// SimBatchRunner executes batches while reusing engine buffers across
+	// calls — the batched analogue of SimRunner.
+	SimBatchRunner = sim.BatchRunner
+	// RepResult is one replication's outcome within a batch.
+	RepResult = sim.RepResult
 	// DeliverEvent is the payload of SimConfig.OnDeliver tracing hooks.
 	DeliverEvent = sim.DeliverEvent
 	// Probe observes engine events when set on SimConfig.Probe; nil costs
@@ -232,6 +240,12 @@ func DimOrderFCFS(s *Shape) (*Scheme, error) { return core.DimOrderFCFS(s) }
 
 // Simulate executes one simulation run.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateBatch executes R replications of one operating point, sharing the
+// immutable topology and scheme tables across replications and sharding
+// them over worker goroutines. Each replication's Result is bit-identical
+// to a Simulate call with the same config and seed.
+func SimulateBatch(b SimBatch) ([]RepResult, error) { return sim.RunBatch(b) }
 
 // DefaultGuard returns watchdog thresholds sized for shape s: runs whose
 // backlog crosses a multiple of the link count, or grows monotonically
