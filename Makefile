@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
 
 all: build vet test race
 
 # The tier-1 gate: exactly what CI must keep green, plus a faulted smoke
 # sweep proving the robustness path stays wired end to end, a daemon smoke
-# proving submit/cache/drain work over a real socket, and the chaos suite
-# proving crash recovery (SIGKILL + torn journals) under the race detector.
-# BENCH_GATE=1 additionally reruns the short engine bench and fails on a
-# slots/s regression against the committed BENCH_sim.json (off by default so
-# the race/chaos suites stay fast and the gate never flakes a loaded box).
-check: vet build test smoke-faults smoke-serve chaos
+# proving submit/cache/drain work over a real socket, the chaos suite
+# proving crash recovery (SIGKILL + torn journals) under the race detector,
+# and the service-level load smoke (200 concurrent clients against a live
+# daemon, also under -race). BENCH_GATE=1 additionally reruns the short
+# engine bench and fails on a slots/s regression against the committed
+# BENCH_sim.json; LOAD_GATE=1 does the same for service latency/throughput
+# against BENCH_serve.json (both off by default so the gate never flakes a
+# loaded box).
+check: vet build test smoke-faults smoke-serve chaos load-smoke
 ifneq ($(BENCH_GATE),)
 check: bench-gate
+endif
+ifneq ($(LOAD_GATE),)
+check: load-gate
 endif
 
 help:
@@ -29,7 +35,15 @@ help:
 	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
 	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
 	@echo "  smoke-serve   starsimd daemon round trip: submit, cache hit, drain"
-	@echo "  fuzz          fuzz the FIFO ring buffer and the trace reader"
+	@echo "  load          psload: 200-client mixed workload against an"
+	@echo "                in-process daemon -> append to BENCH_serve.json"
+	@echo "  load-smoke    5s, 200-client load acceptance run under -race:"
+	@echo "                scenarios, counter cross-checks, non-zero quantiles"
+	@echo "  load-gate     psload vs committed BENCH_serve.json; fails on a"
+	@echo "                p95/p99/throughput regression (LOAD_GATE=1 wires"
+	@echo "                it into 'check')"
+	@echo "  fuzz          fuzz the FIFO ring buffer, the trace reader, the"
+	@echo "                latency sketch codec, and the BENCH_serve reader"
 	@echo "                (FUZZTIME=30s to change)"
 	@echo "  bench         go test -bench over every figure benchmark"
 	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
@@ -47,13 +61,13 @@ help:
 # lazy per-shape link tables, pooled runners, fault timelines, the daemon's
 # worker pool, cache, and journals).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen
 
 # The chaos harness under the race detector: lenient journal loading, WAL
 # replay and quarantine, client retry/backoff, and the subprocess suite
 # that SIGKILLs a real daemon mid-job, tears its journals, and restarts it.
 chaos:
-	$(GO) test -race -run 'Chaos|Crash|Torn|Quarantine|Recovery|Retry|Lenient|WAL|Poison|SetSync|Cache' \
+	$(GO) test -race -run 'Chaos|Crash|Torn|Quarantine|Recovery|Retry|Lenient|WAL|Poison|SetSync|Cache|Race' \
 		./internal/journal ./internal/serve ./cmd/starsimd
 
 # Static analysis: vet always; staticcheck only when installed (the build
@@ -115,6 +129,8 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzFIFO -fuzztime $(FUZZTIME) ./internal/queue
 	$(GO) test -fuzz FuzzTraceReader -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -fuzz FuzzSketchDecode -fuzztime $(FUZZTIME) ./internal/loadgen
+	$(GO) test -fuzz FuzzTrajectoryReader -fuzztime $(FUZZTIME) ./internal/loadgen
 
 build:
 	$(GO) build ./...
@@ -146,6 +162,31 @@ bench-json:
 BENCH_GATE_TOL ?= 0.25
 bench-gate:
 	$(GO) run ./cmd/bench -quick -gate BENCH_sim.json -gate-tol $(BENCH_GATE_TOL)
+
+# Service-level load harness -> BENCH_serve.json: a 200-client fleet over
+# the full mixed workload (cache hits, fresh misses, dedup storms, 429
+# bursts, SSE watches) against a dedicated in-process daemon. Latencies are
+# wall-clock sensitive, so records note go version/arch and whether -race
+# was on; compare like with like.
+load:
+	$(GO) run ./cmd/psload -boot -clients 200 -duration 10s -mix mixed \
+		-seed 1 -out BENCH_serve.json
+
+# The 5-second load acceptance run wired into `check`: 200 concurrent
+# clients under the race detector, with scenario assertions (hits, dedup,
+# 429 pushback), exact client-vs-daemon counter reconciliation, and the
+# gate self-test against a doctored 2x-faster baseline.
+load-smoke:
+	$(GO) test -race -run TestLoadSmoke -count=1 ./internal/loadgen
+
+# Service perf regression gate: a fresh psload run vs the committed
+# BENCH_serve.json trajectory. Latency quantiles on a shared box are noisy,
+# so the default tolerance is loose; the throughput floor is the sturdier
+# signal. Opt into `make check` with LOAD_GATE=1.
+LOAD_GATE_TOL ?= 0.75
+load-gate:
+	$(GO) run ./cmd/psload -boot -clients 200 -duration 10s -mix mixed \
+		-seed 1 -gate -gate-tol $(LOAD_GATE_TOL) -compare BENCH_serve.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,211 @@
+// Command psload is the service-level load harness for starsimd: it drives
+// a deterministic fleet of synthetic clients against a live daemon (or an
+// in-process one with -boot), records per-endpoint latency quantiles, and
+// maintains the BENCH_serve.json trajectory with a regression gate.
+//
+//	psload -boot -clients 200 -duration 10s -mix mixed -out BENCH_serve.json
+//	psload -addr 127.0.0.1:7077 -mix overload -duration 30s
+//	psload -boot -gate -out BENCH_serve.json            # fail on p95/p99/throughput regression
+//	psload -boot -gate -gate-speedup 2 -duration 5s     # self-test: gate must trip
+//
+// The gate compares the fresh run's p95/p99 per op class and its overall
+// throughput against the baseline (the last record in -out, or -compare
+// FILE), allowing -gate-tol fractional slack. -gate-speedup doctors the
+// baseline as if it came from a machine N-times faster — with no baseline
+// file it doctors the fresh record itself, making a self-contained proof
+// that the gate actually fails on regressions.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"prioritystar/internal/loadgen"
+	"prioritystar/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "daemon address (host:port); empty requires -boot")
+		boot     = flag.Bool("boot", false, "boot a dedicated in-process daemon for the run")
+		workers  = flag.Int("boot-workers", 4, "worker pool size for -boot")
+		queueCap = flag.Int("boot-queue", 16, "queue capacity for -boot (modest, so overload bursts draw 429s)")
+		clients  = flag.Int("clients", 200, "concurrent synthetic clients")
+		duration = flag.Duration("duration", 10*time.Second, "load duration (after warmup)")
+		mixFlag  = flag.String("mix", "mixed", "workload mix: a name or hit=N,miss=N,... weights")
+		seed     = flag.Uint64("seed", 1, "fleet seed; same seed+mix+clients replays the same op sequences")
+		rate     = flag.Float64("rate", 0, "per-client target ops/sec (0: closed loop)")
+		out      = flag.String("out", "", "append the run to this BENCH_serve.json trajectory")
+		gate     = flag.Bool("gate", false, "compare against the baseline and exit 1 on regression")
+		gateTol  = flag.Float64("gate-tol", 0.75, "gate tolerance (0.75 allows 1.75x the baseline)")
+		speedup  = flag.Float64("gate-speedup", 0, "doctor the baseline N-times faster (gate self-test)")
+		compare  = flag.String("compare", "", "gate against the last record of this file instead of -out")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "psload: ", 0)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *addr == "" && !*boot {
+		logger.Fatalf("need -addr or -boot (known mixes: %v)", loadgen.MixNames())
+	}
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	target := *addr
+	if *boot {
+		s, err := serve.New(serve.Config{
+			Addr:        "127.0.0.1:0",
+			Workers:     *workers,
+			QueueCap:    *queueCap,
+			SlotsPerJob: 1,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		bound, err := s.Start()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = s.Shutdown(shCtx)
+		}()
+		target = bound
+		logf("booted dedicated daemon on %s (%d workers, queue %d)", bound, *workers, *queueCap)
+	}
+
+	// Read the baseline before appending, so a -gate run never compares a
+	// record against itself.
+	baseline, err := loadBaseline(*compare, *out)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Addr:     target,
+		Clients:  *clients,
+		Duration: *duration,
+		Mix:      mix,
+		Seed:     *seed,
+		Rate:     *rate,
+		Logf:     logf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	printRecord(&rep.Record)
+
+	exitCode := 0
+	if len(rep.Failures) > 0 {
+		fmt.Println("\nFAILURES:")
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+		exitCode = 1
+	}
+
+	if *out != "" {
+		if err := loadgen.AppendRecord(*out, rep.Record); err != nil {
+			logger.Fatal(err)
+		}
+		logf("appended run to %s", *out)
+	}
+
+	if *gate {
+		if *speedup > 0 {
+			if baseline == nil {
+				baseline = &rep.Record
+			}
+			baseline = loadgen.DoctorBaseline(baseline, *speedup)
+			logf("gate: baseline doctored %gx faster (self-test mode)", *speedup)
+		}
+		switch {
+		case baseline == nil:
+			logf("gate: no baseline yet; this run seeds the trajectory")
+		default:
+			if fails := loadgen.Gate(&rep.Record, baseline, *gateTol); len(fails) > 0 {
+				fmt.Println("\nGATE FAILED:")
+				for _, f := range fails {
+					fmt.Printf("  %s\n", f)
+				}
+				exitCode = 1
+			} else {
+				fmt.Printf("\ngate passed (tolerance %.0f%%)\n", *gateTol*100)
+			}
+		}
+	}
+	os.Exit(exitCode)
+}
+
+// loadBaseline resolves the gate baseline: the last record of comparePath
+// when given, else the last record of outPath; nil when neither exists yet.
+func loadBaseline(comparePath, outPath string) (*loadgen.Record, error) {
+	path := comparePath
+	if path == "" {
+		path = outPath
+	}
+	if path == "" {
+		return nil, nil
+	}
+	t, err := loadgen.ReadTrajectory(path)
+	if err != nil {
+		if comparePath == "" && errors.Is(err, os.ErrNotExist) {
+			return nil, nil // first run against -out seeds the file
+		}
+		return nil, err
+	}
+	return t.Last(), nil
+}
+
+// printRecord renders the run summary.
+func printRecord(r *loadgen.Record) {
+	fmt.Printf("run: %d clients, mix %s, %.1fs, seed %d", r.Clients, r.Mix, r.DurationSec, r.Seed)
+	if r.Race {
+		fmt.Printf(" (race detector on)")
+	}
+	fmt.Println()
+	keys := make([]string, 0, len(r.Ops))
+	for k := range r.Ops {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-16s %8s %6s %10s %10s %10s %10s\n", "op", "count", "errs", "p50", "p95", "p99", "max")
+	for _, k := range keys {
+		op := r.Ops[k]
+		fmt.Printf("%-16s %8d %6d %10s %10s %10s %10s\n", k, op.Count, op.Errors,
+			us(op.P50us), us(op.P95us), us(op.P99us), us(op.MaxUs))
+	}
+	fmt.Printf("throughput %.1f ops/s | errors %.2f%% | 429s %d | deduped %d | cache hits %d | retries %d | reconnects %d\n",
+		r.ThroughputOps, r.ErrorRate*100, r.Rejected429, r.Deduped, r.CacheHits, r.Retries, r.Reconnects)
+}
+
+// us renders a microsecond latency human-readably.
+func us(v int64) string {
+	d := time.Duration(v) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dus", v)
+	}
+}

@@ -38,10 +38,15 @@ func main() {
 		backoff  = flag.Duration("retry-backoff", 0, "delay before a job's first retry, doubling per attempt (default 250ms)")
 		jobTO    = flag.Duration("job-timeout", 0, "wall-clock guard for jobs that do not set their own (e.g. 5m)")
 		drainTO  = flag.Duration("drain-timeout", 0, "cap on graceful drain at shutdown; 0 waits for every accepted job")
+		quiet    = flag.Bool("quiet", false, "suppress per-job logging (load harnesses submit thousands of jobs)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "starsimd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
 	retryBudget := *budget
 	if retryBudget <= 0 {
 		retryBudget = -1 // flag 0 means "no retries", not the config default
@@ -56,7 +61,7 @@ func main() {
 		RetryBudget:  retryBudget,
 		RetryBackoff: *backoff,
 		JobTimeout:   *jobTO,
-		Logf:         logger.Printf,
+		Logf:         logf,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package loadgen
+
+// raceEnabled marks trajectory records produced under the race detector.
+const raceEnabled = false

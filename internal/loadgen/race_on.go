@@ -1,0 +1,7 @@
+//go:build race
+
+package loadgen
+
+// raceEnabled marks trajectory records produced under the race detector,
+// whose ~10x slowdown makes their latencies incomparable with plain runs.
+const raceEnabled = true

@@ -48,6 +48,85 @@ func TestMetricSetJSONDeterministic(t *testing.T) {
 	}
 }
 
+func TestMetricSetObserveQuantiles(t *testing.T) {
+	var m MetricSet
+	for v := int64(1); v <= 1000; v++ {
+		m.Observe("lat_us", v)
+	}
+	s := m.Snapshot()
+	h, ok := s.Histograms["lat_us"]
+	if !ok {
+		t.Fatal("snapshot lost the histogram")
+	}
+	if h.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count)
+	}
+	// Log buckets answer quantiles within one power of two: the true p50 is
+	// 500, so the reported upper bound must be in [500, 1023].
+	if q := h.Quantile(0.5); q < 500 || q > 1023 {
+		t.Fatalf("p50 = %d, want in [500, 1023]", q)
+	}
+	if q := h.Quantile(1); q < 1000 || q > 1023 {
+		t.Fatalf("p100 = %d, want in [1000, 1023]", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+}
+
+// TestSnapshotMergeSumsHistograms pins the psctl metrics fix: when the
+// client and the daemon both carry a histogram under the same key, Merge
+// must sum them bucket-wise — not drop one side — while counters still add
+// and gauges still overwrite.
+func TestSnapshotMergeSumsHistograms(t *testing.T) {
+	var server, client MetricSet
+	for i := 0; i < 10; i++ {
+		server.Observe("http_submit_us", 100) // bucket 7: [64, 128)
+	}
+	for i := 0; i < 5; i++ {
+		client.Observe("http_submit_us", 1000) // bucket 10: [512, 1024)
+	}
+	client.Observe("client_only_us", 3)
+	server.Add("jobs", 2)
+	client.Add("jobs", 1)
+	server.Set("depth", 7)
+	client.Set("depth", 1)
+
+	snap := server.Snapshot()
+	snap.Merge(client.Snapshot())
+
+	h := snap.Histograms["http_submit_us"]
+	if h.Count != 15 {
+		t.Fatalf("merged count = %d, want 10+5", h.Count)
+	}
+	if len(h.Buckets) != 11 || h.Buckets[7] != 10 || h.Buckets[10] != 5 {
+		t.Fatalf("merged buckets = %v, want 10 at bucket 7 and 5 at bucket 10", h.Buckets)
+	}
+	// The merged distribution answers quantiles spanning both sides: p50
+	// lands in the server's bucket, p99 in the client's.
+	if q := h.Quantile(0.5); q != 127 {
+		t.Fatalf("merged p50 = %d, want 127", q)
+	}
+	if q := h.Quantile(0.99); q != 1023 {
+		t.Fatalf("merged p99 = %d, want 1023", q)
+	}
+	if got := snap.Histograms["client_only_us"].Count; got != 1 {
+		t.Fatalf("client-only histogram lost: count = %d", got)
+	}
+	if snap.Counters["jobs"] != 3 {
+		t.Fatalf("counters = %v, want jobs summed to 3", snap.Counters)
+	}
+	if snap.Gauges["depth"] != 1 {
+		t.Fatalf("gauges = %v, want depth overwritten to 1", snap.Gauges)
+	}
+	// Merging into an empty snapshot must deep-copy, not alias.
+	var empty Snapshot
+	empty.Merge(snap)
+	if empty.Histograms["http_submit_us"].Count != 15 {
+		t.Fatalf("merge into empty snapshot = %+v", empty.Histograms)
+	}
+}
+
 func TestMetricSetConcurrent(t *testing.T) {
 	var m MetricSet
 	var wg sync.WaitGroup
@@ -58,6 +137,8 @@ func TestMetricSetConcurrent(t *testing.T) {
 			for j := 0; j < 1000; j++ {
 				m.Add("n", 1)
 				m.Set("g", float64(j))
+				m.SetMax("peak", float64(j))
+				m.Observe("h", int64(j))
 				_ = m.Snapshot()
 			}
 		}()

@@ -1,0 +1,183 @@
+package serve
+
+// Sustained 429-storm coverage for the client retry policy: a daemon that
+// pushes back for a long stretch must see capped, bounded backoff from the
+// client — exact Retry-After obedience, full-jitter ceilings that never
+// exceed MaxDelay, and a shift that saturates instead of overflowing at
+// deep retry counts. All timing goes through the policy's injectable rnd
+// and sleep seams: no test here ever really sleeps.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prioritystar/internal/obs"
+)
+
+// storm429Server answers 429 for the first n requests (with the scripted
+// Retry-After headers, "" meaning none), then succeeds.
+func storm429Server(t *testing.T, retryAfter []string, calls *atomic.Int32) *httptest.Server {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1))
+		if n <= len(retryAfter) {
+			if ra := retryAfter[n-1]; ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":"j1","state":"queued","fingerprint":"f","done":0,"total":1}`))
+	}))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestStormRetryAfterHonoredExactly scripts a storm whose Retry-After
+// headers ramp 1s, 3s, 7s, 9999s: the client must sleep exactly the header
+// value while it fits under MaxDelay and exactly MaxDelay beyond it —
+// never the jitter curve, never more than the cap.
+func TestStormRetryAfterHonoredExactly(t *testing.T) {
+	var calls atomic.Int32
+	hs := storm429Server(t, []string{"1", "3", "7", "9999"}, &calls)
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 6, &slept)
+	st, err := c.SubmitJSON(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("submit after storm: %v", err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("wrong response after storm: %+v", st)
+	}
+	// MaxDelay is 5s in retryClient: 7s and 9999s must both clamp to it.
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second, 5 * time.Second}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full sequence %v)", i, slept[i], want[i], slept)
+		}
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("server saw %d requests, want 5", got)
+	}
+}
+
+// TestStormMalformedRetryAfterFallsBackToJitter: garbage and negative
+// Retry-After headers are ignored, so the delay is the jitter ceiling
+// (rnd pinned at 1.0), not zero and not a parse panic.
+func TestStormMalformedRetryAfterFallsBackToJitter(t *testing.T) {
+	var calls atomic.Int32
+	hs := storm429Server(t, []string{"soon", "-4", "1.5"}, &calls)
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 5, &slept)
+	if _, err := c.SubmitJSON(context.Background(), []byte(`{}`)); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want jitter ceiling %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestStormSustainedBackoffCappedAndOverflowSafe drives a 40-retry storm
+// with no Retry-After: every delay must equal min(BaseDelay<<n, MaxDelay)
+// with rnd pinned to 1.0. Past n≈36 the shift overflows int64 — the policy
+// must saturate at MaxDelay, not go negative or wrap to tiny sleeps.
+func TestStormSustainedBackoffCappedAndOverflowSafe(t *testing.T) {
+	const retries = 40
+	headers := make([]string, retries+1) // one more 429 than the budget
+	var calls atomic.Int32
+	hs := storm429Server(t, headers, &calls)
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, retries, &slept)
+	c.Metrics = &obs.MetricSet{}
+	_, err := c.SubmitJSON(context.Background(), []byte(`{}`))
+	if !IsQueueFull(err) {
+		t.Fatalf("err = %v, want the final 429 surfaced as queue-full", err)
+	}
+	if got := calls.Load(); got != retries+1 {
+		t.Fatalf("server saw %d requests, want MaxRetries+1 = %d", got, retries+1)
+	}
+	if len(slept) != retries {
+		t.Fatalf("recorded %d sleeps, want %d", len(slept), retries)
+	}
+	base, cap_ := 100*time.Millisecond, 5*time.Second
+	for n, d := range slept {
+		want := cap_
+		if ceil := base << n; ceil > 0 && ceil < cap_ {
+			want = ceil
+		}
+		if d != want {
+			t.Fatalf("sleep %d = %v, want min(BaseDelay<<%d, MaxDelay) = %v", n, d, n, want)
+		}
+		if d < 0 || d > cap_ {
+			t.Fatalf("sleep %d = %v escaped [0, MaxDelay]", n, d)
+		}
+	}
+	if got := c.Metrics.Counter("client_retries"); got != retries {
+		t.Fatalf("client_retries = %d, want %d", got, retries)
+	}
+}
+
+// TestStormFullJitterBoundsUnderRealRand re-runs the deep-retry curve with
+// the real jitter source many times: every sampled delay stays within
+// [0, min(BaseDelay<<n, MaxDelay)] even where the shift overflows.
+func TestStormFullJitterBoundsUnderRealRand(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+	for retry := 0; retry < 64; retry++ {
+		ceil := p.BaseDelay << retry
+		if ceil <= 0 || ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		for i := 0; i < 200; i++ {
+			if d := p.delay(retry, -1); d < 0 || d > ceil {
+				t.Fatalf("delay(retry=%d) = %v outside [0, %v]", retry, d, ceil)
+			}
+		}
+	}
+}
+
+// TestStormRecoveryMidway: a storm that breaks halfway through the budget
+// leaves the remaining budget untouched — the next call starts a fresh
+// retry count instead of inheriting the storm's.
+func TestStormRecoveryMidway(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every odd-numbered request 429s; every even one succeeds: two
+		// consecutive calls each need exactly one retry.
+		if calls.Add(1)%2 == 1 {
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprintf(w, `{"id":"j%d","state":"queued","fingerprint":"f","done":0,"total":1}`, calls.Load())
+	}))
+	t.Cleanup(hs.Close)
+
+	var slept []time.Duration
+	c := retryClient(hs.URL, 3, &slept)
+	for call := 0; call < 2; call++ {
+		if _, err := c.SubmitJSON(context.Background(), []byte(`{}`)); err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+	}
+	// Both calls backed off once from retry 0: 100ms each, not 100ms+200ms.
+	want := []time.Duration{100 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v (retry count must reset per call)", slept, want)
+	}
+}

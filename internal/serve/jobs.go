@@ -162,11 +162,14 @@ func (j *job) subscribe() <-chan statusEvent {
 	j.mu.Lock()
 	ev := statusEvent{seq: j.seq, st: j.status}
 	terminal := ev.st.Terminal()
+	// Deliver the snapshot before the channel becomes visible to update():
+	// it is private and buffered here, so the send cannot block — and once
+	// registered, a concurrent terminal update may close it at any time.
+	ch <- ev
 	if !terminal {
 		j.subs = append(j.subs, ch)
 	}
 	j.mu.Unlock()
-	ch <- ev
 	if terminal {
 		close(ch)
 	}
@@ -351,6 +354,9 @@ func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
 	}
 	m.active[fp] = j
 	m.cfg.Metrics.Add("jobs_queued", 1)
+	// High-watermark of the queue: pressure that spikes and drains between
+	// /metrics scrapes (an overload burst) stays visible to the harness.
+	m.cfg.Metrics.SetMax("queue_depth_peak", float64(len(m.queue)))
 
 	// Journal the acceptance: after this line a crash cannot lose the job.
 	if m.wal != nil {

@@ -141,18 +141,31 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, mgr: newManager(cfg, c, w, ckptDir, pending, maxSeq)}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("status", s.handleGet))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("result", s.handleResult))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s, nil
+}
+
+// instrument wraps a handler with a server-side latency histogram,
+// http_<name>_us. For the SSE endpoint the recorded value is the stream's
+// lifetime, not a per-request service time. The load harness (cmd/psload)
+// cross-checks its client-observed latencies against these histograms.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	metric := "http_" + name + "_us"
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.cfg.Metrics.Observe(metric, time.Since(start).Microseconds())
+	}
 }
 
 // Handler returns the daemon's HTTP handler, for embedding in an existing
@@ -268,10 +281,16 @@ type errorDoc struct {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission accounting: every submission lands in exactly one of
+	// submits_total = accepted (jobs_queued) + cache_hits + jobs_deduped +
+	// rejected. The load harness cross-checks its client-side view against
+	// these counters after a run.
+	s.cfg.Metrics.Add("submits_total", 1)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var e spec.Experiment
 	if err := dec.Decode(&e); err != nil {
+		s.cfg.Metrics.Add("submits_rejected_badspec", 1)
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding spec: %v", err)})
 		return
 	}
@@ -279,13 +298,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case err == errQueueFull:
+		s.cfg.Metrics.Add("submits_rejected_429", 1)
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
 		return
 	case err == errDraining:
+		s.cfg.Metrics.Add("submits_rejected_draining", 1)
 		writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: err.Error()})
 		return
 	default:
+		s.cfg.Metrics.Add("submits_rejected_badspec", 1)
 		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
 		return
 	}

@@ -1,0 +1,59 @@
+package serve
+
+// Regression test for a pub/sub race the load harness exposed: subscribe()
+// used to deliver the initial snapshot after releasing the job lock, so a
+// concurrent terminal update() could close the just-registered channel
+// while the snapshot send was in flight — a data race and, in the worst
+// interleaving, a send on a closed channel. Run under -race (the chaos
+// target matches this file via "Race").
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSubscribeRacesTerminalUpdate hammers the exact interleaving: many
+// goroutines subscribe to a job while another drives it to a terminal
+// state. Every subscriber must see its snapshot first and the stream must
+// end with a closed channel after a terminal event — never a panic, never
+// a torn send.
+func TestSubscribeRacesTerminalUpdate(t *testing.T) {
+	const rounds, subscribers = 200, 8
+	for round := 0; round < rounds; round++ {
+		j := &job{id: "race", status: JobStatus{ID: "race", State: StateRunning}}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < subscribers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				ch := j.subscribe()
+				first := true
+				var last statusEvent
+				for ev := range ch {
+					if first && ev.st.State != StateRunning && !ev.st.Terminal() {
+						t.Errorf("first event in state %q, want running or terminal", ev.st.State)
+					}
+					first = false
+					last = ev
+				}
+				if first {
+					t.Error("channel closed before the snapshot was delivered")
+				}
+				if !last.st.Terminal() {
+					t.Errorf("stream ended on non-terminal state %q", last.st.State)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			j.update(func(st *JobStatus) { st.Done = 1; st.Total = 1 })
+			j.update(func(st *JobStatus) { st.State = StateDone })
+		}()
+		close(start)
+		wg.Wait()
+	}
+}

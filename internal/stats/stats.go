@@ -260,6 +260,23 @@ func (h *LogHistogram) Quantile(q float64) int64 {
 	return math.MaxInt64 // unreachable: buckets cover every int64
 }
 
+// Counts returns the raw per-bucket counts, trimmed after the last occupied
+// bucket (nil when empty). Index k is bucket k as documented on
+// LogHistogram; consumers that serialize histograms (obs.MetricSet) merge
+// two histograms by adding these slices element-wise.
+func (h *LogHistogram) Counts() []int64 {
+	hi := -1
+	for i, c := range h.counts {
+		if c != 0 {
+			hi = i
+		}
+	}
+	if hi < 0 {
+		return nil
+	}
+	return append([]int64(nil), h.counts[:hi+1]...)
+}
+
 // LogBucket is one occupied bucket of a LogHistogram: the inclusive value
 // range [Lo, Hi] and its observation count.
 type LogBucket struct {
