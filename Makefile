@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help check build vet test race chaos lint smoke-faults smoke-serve load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos chaos-cluster lint smoke-faults smoke-serve load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
 
 all: build vet test race
 
@@ -14,7 +14,7 @@ all: build vet test race
 # BENCH_sim.json; LOAD_GATE=1 does the same for service latency/throughput
 # against BENCH_serve.json (both off by default so the gate never flakes a
 # loaded box).
-check: vet build test smoke-faults smoke-serve chaos load-smoke
+check: vet build test smoke-faults smoke-serve chaos chaos-cluster load-smoke
 ifneq ($(BENCH_GATE),)
 check: bench-gate
 endif
@@ -32,6 +32,8 @@ help:
 	@echo "  race          race detector over the shared-state packages"
 	@echo "  chaos         crash-recovery suite under -race: WAL replay, torn"
 	@echo "                journals, quarantine, client retries, SIGKILL+restart"
+	@echo "  chaos-cluster fleet chaos under -race: scatter/gather byte-identity,"
+	@echo "                lease expiry, worker+coordinator SIGKILL mid-sweep"
 	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
 	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
 	@echo "  smoke-serve   starsimd daemon round trip: submit, cache hit, drain"
@@ -61,7 +63,7 @@ help:
 # lazy per-shape link tables, pooled runners, fault timelines, the daemon's
 # worker pool, cache, and journals).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen ./internal/cluster
 
 # The chaos harness under the race detector: lenient journal loading, WAL
 # replay and quarantine, client retry/backoff, and the subprocess suite
@@ -69,6 +71,16 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Crash|Torn|Quarantine|Recovery|Retry|Lenient|WAL|Poison|SetSync|Cache|Race' \
 		./internal/journal ./internal/serve ./cmd/starsimd
+
+# The fleet chaos harness under the race detector: the in-process fabric
+# suite (byte-identical scatter/gather, lease expiry + duplicate discard,
+# hung-worker re-dispatch, lease adoption) plus the subprocess suite that
+# SIGKILLs workers and the coordinator mid-sweep, tears the lease journal,
+# and requires zero re-simulated checkpointed replications and a final
+# result byte-identical to a single-node run.
+chaos-cluster:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -run 'ClusterChaos' ./cmd/starsimd
 
 # Static analysis: vet always; staticcheck only when installed (the build
 # image does not ship it — skip with a note rather than fail).

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"prioritystar/internal/cli"
+	"prioritystar/internal/cluster"
 	"prioritystar/internal/obs"
 	"prioritystar/internal/serve"
 	"prioritystar/internal/spec"
@@ -39,6 +40,7 @@ commands:
   result ID  print a finished job's result document (verbatim cached bytes)
   cancel ID  request cancellation (best effort)
   metrics  print the daemon's metric snapshot
+  workers  print a coordinator's fleet roster
 
 run "psctl COMMAND -h" for command flags
 `)
@@ -107,6 +109,8 @@ func main() {
 			snap.Merge(c.Metrics.Snapshot())
 			err = printJSON(snap)
 		}
+	case "workers":
+		err = cmdWorkers(ctx, *addr)
 	default:
 		fmt.Fprintf(os.Stderr, "psctl: unknown command %q\n", cmd)
 		usage()
@@ -235,6 +239,29 @@ func watch(ctx context.Context, c *serve.Client, id string) error {
 	default:
 		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
+}
+
+// cmdWorkers prints a coordinator's fleet roster.
+func cmdWorkers(ctx context.Context, addr string) error {
+	ws, err := cluster.NewClient(addr).Workers(ctx)
+	if err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		fmt.Println("no workers registered")
+		return nil
+	}
+	fmt.Printf("%-7s %-16s %-22s %-6s %-6s %-7s %-6s %s\n",
+		"ID", "NAME", "ADDR", "SLOTS", "DEPTH", "LEASES", "ALIVE", "LAST-SEEN")
+	for _, w := range ws {
+		alive := "yes"
+		if !w.Alive {
+			alive = "NO"
+		}
+		fmt.Printf("%-7s %-16s %-22s %-6d %-6d %-7d %-6s %dms ago\n",
+			w.ID, w.Name, w.Addr, w.Slots, w.Depth, w.Leases, alive, w.LastSeenMillisAgo)
+	}
+	return nil
 }
 
 // cmdList prints a compact table of the daemon's jobs.

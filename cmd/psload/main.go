@@ -22,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"syscall"
 	"time"
 
+	"prioritystar/internal/cluster"
 	"prioritystar/internal/loadgen"
 	"prioritystar/internal/serve"
 )
@@ -37,6 +40,7 @@ func main() {
 		addr     = flag.String("addr", "", "daemon address (host:port); empty requires -boot")
 		boot     = flag.Bool("boot", false, "boot a dedicated in-process daemon for the run")
 		workers  = flag.Int("boot-workers", 4, "worker pool size for -boot")
+		fleetN   = flag.Int("workers", 0, "with -boot: back the daemon with N fleet worker daemons (0: single-node)")
 		queueCap = flag.Int("boot-queue", 16, "queue capacity for -boot (modest, so overload bursts draw 429s)")
 		clients  = flag.Int("clients", 200, "concurrent synthetic clients")
 		duration = flag.Duration("duration", 10*time.Second, "load duration (after warmup)")
@@ -70,14 +74,33 @@ func main() {
 
 	target := *addr
 	if *boot {
-		s, err := serve.New(serve.Config{
+		cfg := serve.Config{
 			Addr:        "127.0.0.1:0",
 			Workers:     *workers,
 			QueueCap:    *queueCap,
 			SlotsPerJob: 1,
-		})
+		}
+		// -workers N swaps the execution engine for a fleet: a coordinator
+		// scattering sub-jobs to N in-process worker daemons, so the
+		// trajectory can record fleet-backed service numbers.
+		var coord *cluster.Coordinator
+		if *fleetN > 0 {
+			var err error
+			coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+				Heartbeat: 200 * time.Millisecond,
+			})
+			if err != nil {
+				logger.Fatal(err)
+			}
+			defer coord.Close()
+			cfg.RunJob = coord.RunJob
+		}
+		s, err := serve.New(cfg)
 		if err != nil {
 			logger.Fatal(err)
+		}
+		if coord != nil {
+			coord.Mount(s)
 		}
 		bound, err := s.Start()
 		if err != nil {
@@ -88,8 +111,32 @@ func main() {
 			defer cancel()
 			_ = s.Shutdown(shCtx)
 		}()
+		for i := 0; i < *fleetN; i++ {
+			w := cluster.NewWorker(cluster.WorkerConfig{Slots: 2, SlotsPerSubjob: 1})
+			mux := http.NewServeMux()
+			w.Mount(mux)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				logger.Fatal(err)
+			}
+			hs := &http.Server{Handler: mux}
+			go hs.Serve(ln)
+			defer hs.Close()
+			agent := cluster.StartAgent(cluster.AgentConfig{
+				Coordinator: bound,
+				Advertise:   ln.Addr().String(),
+				Name:        fmt.Sprintf("loadgen-w%d", i),
+				Slots:       2,
+				Depth:       w.Depth,
+			})
+			defer agent.Stop()
+		}
 		target = bound
-		logf("booted dedicated daemon on %s (%d workers, queue %d)", bound, *workers, *queueCap)
+		if *fleetN > 0 {
+			logf("booted dedicated daemon on %s (coordinator + %d fleet workers, queue %d)", bound, *fleetN, *queueCap)
+		} else {
+			logf("booted dedicated daemon on %s (%d workers, queue %d)", bound, *workers, *queueCap)
+		}
 	}
 
 	// Read the baseline before appending, so a -gate run never compares a
@@ -110,6 +157,9 @@ func main() {
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if *boot {
+		rep.Record.Workers = *fleetN
 	}
 	printRecord(&rep.Record)
 

@@ -1,0 +1,228 @@
+package main
+
+// Fleet chaos suite: boots a real coordinator daemon plus three worker
+// daemons as subprocesses, SIGKILLs workers and the coordinator itself
+// mid-sweep, tears the journals the crash left behind, and asserts the
+// fabric's contract end to end: every accepted job reaches a terminal
+// state, the restarted coordinator resumes from its checkpoint without
+// re-simulating a single checkpointed replication, and the fleet-merged
+// result is byte-identical to a single-node run of the same spec.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prioritystar/internal/serve"
+)
+
+// clusterSweepSpec is a 32-replication sweep that decomposes into four
+// 8-rep sub-jobs — enough rounds on a damaged fleet that there is always a
+// mid-sweep window between the first checkpointed sub-job and the last.
+func clusterSweepSpec() []byte {
+	return []byte(`{
+		"id": "chaos-fleet", "dims": [8, 8], "rhos": [0.3],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 100, "measure": 40000, "drain": 100,
+		"reps": 32, "seed": 17
+	}`)
+}
+
+const clusterTotalReps = 32
+
+// workerSimulated reads one worker daemon's simulated-replication counter.
+func workerSimulated(ctx context.Context, t *testing.T, addr string) int64 {
+	t.Helper()
+	snap, err := serve.NewClient(addr).MetricsSnapshot(ctx)
+	if err != nil {
+		t.Fatalf("reading worker %s metrics: %v", addr, err)
+	}
+	return snap.Counters["cluster_reps_simulated"]
+}
+
+// TestClusterChaosEndToEnd is the fleet chaos walk: a coordinator scatters
+// a sweep over three workers; one worker is SIGKILLed mid-sweep, then the
+// coordinator itself is SIGKILLed and its journals torn; the restarted
+// coordinator re-adopts its leases, resumes from the checkpoint, finishes
+// on the surviving workers (one of which is also killed), and produces a
+// result byte-identical to a single-node daemon's.
+func TestClusterChaosEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	bin := buildDaemon(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+
+	coordDir := t.TempDir()
+	fleetWAL := filepath.Join(coordDir, "leases.jsonl")
+	coordFlags := []string{
+		"-coordinator", "-fleet-wal", fleetWAL,
+		"-heartbeat", "100ms", "-lease-ttl", "20s", "-subjob-retries", "8",
+	}
+	coord1 := startDaemon(t, bin, coordDir, "", coordFlags...)
+
+	workers := make([]*daemon, 3)
+	for i := range workers {
+		workers[i] = startDaemon(t, bin, t.TempDir(), "",
+			"-worker", "-join", coord1.addr, "-name", fmt.Sprintf("w%d", i))
+	}
+
+	// The quick job runs to completion first: the daemon's single-slot pool
+	// would otherwise queue it behind the sweep, and its replications must
+	// all be simulated before the crash window opens so the post-crash
+	// accounting below sees only sweep work. Its terminal record still
+	// rides through the WAL tear and the restart below.
+	c := patientClient(coord1.addr)
+	quick, err := c.SubmitJSON(ctx, quickSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Watch(ctx, quick.ID, nil); err != nil || st.State != serve.StateDone {
+		t.Fatalf("quick job before crash: state %v, err %v", st, err)
+	}
+	slow, err := c.SubmitJSON(ctx, clusterSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 — kill a worker while the sweep is in flight. Its in-flight
+	// sub-job dies with it; the coordinator re-dispatches to the survivors.
+	ckpt := filepath.Join(coordDir, "jobs.wal.d", slow.Fingerprint+".jsonl")
+	waitRunning := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Get(ctx, slow.ID)
+		if err == nil && st.State == serve.StateRunning {
+			break
+		}
+		if time.Now().After(waitRunning) {
+			out, _ := os.ReadFile(coord1.log)
+			t.Fatalf("sweep never started running; log:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	workers[0].sigkill(t)
+
+	// Phase 2 — once at least one sub-job is durably checkpointed (but the
+	// sweep is not necessarily finished), SIGKILL the coordinator and tear
+	// the tails of both its journals. The kill comes first: with the
+	// coordinator dead the checkpoint is frozen, so the simulated-counter
+	// snapshot and the checkpointed set are consistent with each other (a
+	// sub-job delivered between a pre-kill snapshot and the checkpoint read
+	// would count against the outstanding budget twice).
+	waitCkpt := time.Now().Add(120 * time.Second)
+	for len(readCheckpointQuiet(ckpt)) < 8 {
+		if time.Now().After(waitCkpt) {
+			out, _ := os.ReadFile(coord1.log)
+			t.Fatalf("no sub-job ever checkpointed; log:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	coord1.sigkill(t)
+	simulatedBefore := workerSimulated(ctx, t, workers[2].addr)
+	doneAtCrash := readCheckpoint(t, ckpt)
+	appendGarbage(t, filepath.Join(coordDir, "jobs.wal"))
+	appendGarbage(t, fleetWAL)
+	// A benign record after the garbage makes the corruption interior:
+	// torn tails are silently truncated, interior damage must be counted.
+	f, err := os.OpenFile(fleetWAL, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n{\"op\":\"done\",\"fp\":\"ps1-none\",\"key\":\"s0r0@0\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Phase 3 — restart the coordinator on the same address. The WAL
+	// replays both jobs, the checkpoint replays the finished replications,
+	// the lease journal re-adopts what was in flight, and the worker agents
+	// rejoin on their own. Kill a second worker while it finishes.
+	coord2 := startDaemon(t, bin, coordDir, coord1.addr, coordFlags...)
+	workers[1].sigkill(t)
+
+	slowSt, err := c.Watch(ctx, slow.ID, nil)
+	if err != nil {
+		out, _ := os.ReadFile(coord2.log)
+		t.Fatalf("watch %s after restart: %v\nlog:\n%s", slow.ID, err, out)
+	}
+	if slowSt.State != serve.StateDone {
+		t.Fatalf("job %s ended %q (err %q), want done", slow.ID, slowSt.State, slowSt.Error)
+	}
+
+	// The quick job finished before the crash, so WAL compaction dropped its
+	// records (terminal jobs live on in the result cache, not the WAL): a
+	// resubmission of the same spec must be a cache hit, not a re-run.
+	requick, err := c.SubmitJSON(ctx, quickSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !requick.Cached {
+		t.Fatalf("pre-crash quick job not served from cache after restart: %+v", requick)
+	}
+
+	// Every checkpointed replication was replayed, not re-simulated: the
+	// resumed job accounts for all of them, and the last surviving worker
+	// simulated no more than the non-checkpointed remainder. (Sub-jobs it
+	// finished after the crash but before the kill of worker 1 are covered
+	// by the same budget: they were outstanding at crash time, and the
+	// worker's sub-job cache plus lease adoption keep re-dispatches from
+	// simulating them twice.)
+	slowFinal, err := c.Get(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowFinal.ResumedReps != len(doneAtCrash) {
+		t.Fatalf("resumedReps = %d, want %d (the checkpointed replications at crash time)",
+			slowFinal.ResumedReps, len(doneAtCrash))
+	}
+	delta := workerSimulated(ctx, t, workers[2].addr) - simulatedBefore
+	if remaining := int64(clusterTotalReps - len(doneAtCrash)); delta > remaining {
+		t.Fatalf("surviving workers re-simulated checkpointed work: %d reps simulated after the crash, only %d were outstanding",
+			delta, remaining)
+	}
+
+	// The torn journal tails were skipped leniently, and visibly.
+	snap, err := c.MetricsSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counters["journal_records_skipped"]; got < 1 {
+		t.Fatalf("journal_records_skipped = %d, want >= 1 (interior lease-journal corruption)", got)
+	}
+
+	fleetBody, err := c.Result(ctx, slow.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Differential: a plain single-node daemon folds the same spec to the
+	// same bytes.
+	single := startDaemon(t, bin, t.TempDir(), "")
+	sc := patientClient(single.addr)
+	st, err := sc.SubmitJSON(ctx, clusterSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := sc.Watch(ctx, st.ID, nil); err != nil || fin.State != serve.StateDone {
+		t.Fatalf("single-node run: state %v, err %v", fin, err)
+	}
+	singleBody, err := sc.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetBody, singleBody) {
+		t.Fatalf("fleet result is not byte-identical to the single-node run\nfleet:  %.200s\nsingle: %.200s",
+			fleetBody, singleBody)
+	}
+
+	// The survivors still drain cleanly.
+	coord2.sigterm(t)
+	workers[2].sigterm(t)
+	single.sigterm(t)
+}

@@ -12,6 +12,17 @@
 // IDs, and resumes their sweeps from checkpoints so completed points are
 // not re-simulated. See internal/serve for the HTTP API and cmd/psctl for
 // the client.
+//
+// The daemon also speaks the fleet protocol (internal/cluster):
+//
+//	starsimd -coordinator -fleet-wal leases.jsonl ...   # scatter jobs to workers
+//	starsimd -worker -join 127.0.0.1:7077 ...           # execute sub-jobs for one
+//
+// A coordinator decomposes every accepted job into replication-level
+// sub-jobs and scatters them across registered workers under journaled
+// leases; crashed workers are re-dispatched around, and a restarted
+// coordinator re-adopts its in-flight leases. The merged result is
+// byte-identical to a single-node run. "psctl workers" prints the roster.
 package main
 
 import (
@@ -22,6 +33,8 @@ import (
 	"os/signal"
 	"syscall"
 
+	"prioritystar/internal/cluster"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/serve"
 )
 
@@ -29,7 +42,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7077", "HTTP listen address (use :0 for a free port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using :0)")
-		workers  = flag.Int("workers", 2, "concurrently running jobs")
+		workers  = flag.Int("workers", 2, "concurrently running jobs (or sub-jobs in -worker mode)")
 		queueCap = flag.Int("queue", 16, "queued-but-unstarted job capacity; a full queue answers 429")
 		slots    = flag.Int("slots-per-job", 0, "per-job sweep parallelism cap (0: sweep default, GOMAXPROCS)")
 		cache    = flag.String("cache", "", "persist the result cache to this JSONL journal")
@@ -39,6 +52,17 @@ func main() {
 		jobTO    = flag.Duration("job-timeout", 0, "wall-clock guard for jobs that do not set their own (e.g. 5m)")
 		drainTO  = flag.Duration("drain-timeout", 0, "cap on graceful drain at shutdown; 0 waits for every accepted job")
 		quiet    = flag.Bool("quiet", false, "suppress per-job logging (load harnesses submit thousands of jobs)")
+
+		coordMode = flag.Bool("coordinator", false, "scatter accepted jobs across registered fleet workers")
+		fleetWAL  = flag.String("fleet-wal", "", "persist the coordinator's sub-job lease journal here (re-adopted on restart)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "re-dispatch a sub-job after this long without a result (default 30s)")
+		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat cadence the coordinator dictates (default 2s)")
+		sjRetries = flag.Int("subjob-retries", 0, "dispatch attempts per sub-job before the job attempt fails (default 3)")
+
+		workerMode = flag.Bool("worker", false, "serve fleet sub-jobs (implied by -join)")
+		join       = flag.String("join", "", "coordinator address to register with")
+		advertise  = flag.String("advertise", "", "address the coordinator dials this worker at (default: the bound address)")
+		name       = flag.String("name", "", "worker name on the fleet roster (default: hostname)")
 	)
 	flag.Parse()
 
@@ -51,7 +75,28 @@ func main() {
 	if retryBudget <= 0 {
 		retryBudget = -1 // flag 0 means "no retries", not the config default
 	}
-	s, err := serve.New(serve.Config{
+
+	// One metric set spans the daemon and its fleet role, so /metrics shows
+	// queue, lease, and worker counters side by side.
+	metrics := &obs.MetricSet{}
+	var coord *cluster.Coordinator
+	if *coordMode {
+		var err error
+		coord, err = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			LeaseTTL:      *leaseTTL,
+			Heartbeat:     *heartbeat,
+			SubjobRetries: *sjRetries,
+			JournalPath:   *fleetWAL,
+			Metrics:       metrics,
+			Logf:          logf,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer coord.Close()
+	}
+
+	cfg := serve.Config{
 		Addr:         *addr,
 		Workers:      *workers,
 		QueueCap:     *queueCap,
@@ -61,11 +106,30 @@ func main() {
 		RetryBudget:  retryBudget,
 		RetryBackoff: *backoff,
 		JobTimeout:   *jobTO,
+		Metrics:      metrics,
 		Logf:         logf,
-	})
+	}
+	if coord != nil {
+		cfg.RunJob = coord.RunJob
+	}
+	s, err := serve.New(cfg)
 	if err != nil {
 		logger.Fatal(err)
 	}
+	if coord != nil {
+		coord.Mount(s)
+	}
+	var wrk *cluster.Worker
+	if *workerMode || *join != "" {
+		wrk = cluster.NewWorker(cluster.WorkerConfig{
+			Slots:          *workers,
+			SlotsPerSubjob: *slots,
+			Metrics:        metrics,
+			Logf:           logf,
+		})
+		wrk.Mount(s)
+	}
+
 	bound, err := s.Start()
 	if err != nil {
 		logger.Fatal(err)
@@ -76,10 +140,33 @@ func main() {
 		}
 	}
 
+	var agent *cluster.Agent
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = bound
+		}
+		label := *name
+		if label == "" {
+			label, _ = os.Hostname()
+		}
+		agent = cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: *join,
+			Advertise:   adv,
+			Name:        label,
+			Slots:       *workers,
+			Depth:       wrk.Depth,
+			Logf:        logf,
+		})
+	}
+
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	sig := <-sigs
 	logger.Printf("received %s; draining (accepted jobs finish, intake stops)", sig)
+	if agent != nil {
+		agent.Stop() // go silent; the coordinator expires this worker
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	if *drainTO > 0 {

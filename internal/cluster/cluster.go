@@ -1,0 +1,678 @@
+// Package cluster is the fault-tolerant distributed sweep fabric: a
+// coordinator that decomposes an experiment into point/replication-level
+// sub-jobs (the same maxBatchReps-sized chunks the local engine batches),
+// scatters them across registered worker daemons under time-bounded leases,
+// and folds the gathered records in strict (scheme, rho, rep) index order so
+// the merged sweep.Result is byte-identical to a sequential single-node run.
+//
+// Robustness model:
+//
+//   - Workers register (join) and heartbeat; a missed heartbeat window marks
+//     the worker dead and its sub-jobs are re-dispatched to healthy peers.
+//   - Every sub-job is leased for a bounded time and the lease journaled
+//     ("psfleet1"); an expired lease re-dispatches WITHOUT canceling the
+//     in-flight call — if the slow worker eventually answers, the gather's
+//     first-terminal-write-wins rule keeps exactly one result and counts the
+//     duplicate.
+//   - Dispatch is least-loaded power-of-two-choices over reported queue
+//     depth plus outstanding leases — the same balanced-allocation principle
+//     the paper's routing scheme applies to broadcast channels.
+//   - A restarted coordinator replays its lease journal and re-adopts
+//     in-flight leases: pending sub-jobs are re-dispatched preferentially to
+//     the worker that already held them, whose content-addressed sub-job
+//     cache answers without re-simulating.
+//   - Per-sub-job retry budgets bound the damage of a poisoned point: an
+//     exhausted budget fails the job attempt, feeding the serve layer's
+//     existing retry/quarantine machinery.
+//
+// The coordinator plugs into the daemon as serve.Config.RunJob; everything
+// above it (queueing, dedup, the WAL, the result cache, checkpoints) is
+// unchanged.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"prioritystar/internal/obs"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/spec"
+	"prioritystar/internal/sweep"
+)
+
+// CoordinatorConfig tunes the fabric.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a dispatched sub-job may run before it is
+	// re-dispatched to another worker. Default 30s. The original call is
+	// never canceled: a lease that expires because the sub-job is simply
+	// slow still completes via the duplicate-discard path.
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence workers are told to report at. Default 2s.
+	Heartbeat time.Duration
+	// WorkerExpiry marks a worker dead after this much heartbeat silence.
+	// Default 3x Heartbeat.
+	WorkerExpiry time.Duration
+	// SubjobRetries is how many dispatch attempts each sub-job gets before
+	// the job attempt fails (and the serve layer's retry/quarantine budget
+	// takes over). Default 3.
+	SubjobRetries int
+	// MaxInflight bounds concurrently leased sub-jobs. Default 16.
+	MaxInflight int
+	// JournalPath persists the lease journal; empty disables lease
+	// re-adoption across coordinator restarts (leases live in memory only).
+	JournalPath string
+	// Metrics receives the fleet counters and gauges; a fresh set is
+	// allocated when nil. Sharing the daemon's set puts workers_alive,
+	// leases_expired, etc. on the same /metrics endpoint.
+	Metrics *obs.MetricSet
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// engine versions the lease journal; fixed to sim.EngineVersion,
+	// overridable only by tests.
+	engine string
+	// now is the clock, overridable only by tests.
+	now func() time.Time
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id    string
+	name  string
+	addr  string
+	slots int
+
+	mu       sync.Mutex
+	depth    int // backlog reported by the last heartbeat
+	leases   int // sub-jobs currently leased to this worker
+	lastSeen time.Time
+}
+
+// load is the balanced-allocation signal: reported backlog plus the leases
+// granted since that report.
+func (w *workerState) load() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.depth + w.leases
+}
+
+// Coordinator owns the worker roster, the lease journal, and the
+// scatter/gather engine behind RunJob.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	hc  *http.Client
+	jnl *fleetJournal
+
+	mu      sync.Mutex
+	seq     int
+	workers map[string]*workerState // by id
+	adopted map[string]string       // leaseKey -> worker addr, from journal replay
+	rnd     *rand.Rand
+}
+
+// NewCoordinator opens (and replays) the lease journal and builds the
+// coordinator. Close releases the journal.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.WorkerExpiry <= 0 {
+		cfg.WorkerExpiry = 3 * cfg.Heartbeat
+	}
+	if cfg.SubjobRetries <= 0 {
+		cfg.SubjobRetries = 3
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 16
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &obs.MetricSet{}
+	}
+	if cfg.engine == "" {
+		cfg.engine = sim.EngineVersion
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		hc:      &http.Client{}, // per-request timeouts via context
+		workers: make(map[string]*workerState),
+		adopted: make(map[string]string),
+		rnd:     rand.New(rand.NewSource(cfg.now().UnixNano())),
+	}
+	if cfg.JournalPath != "" {
+		jnl, adopted, skipped, err := openFleetJournal(cfg.JournalPath, cfg.engine, cfg.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: opening lease journal: %w", err)
+		}
+		c.jnl = jnl
+		c.adopted = adopted
+		cfg.Metrics.Add("journal_records_skipped", int64(skipped))
+		cfg.Metrics.Add("leases_adopted", int64(len(adopted)))
+		if len(adopted) > 0 && cfg.Logf != nil {
+			cfg.Logf("cluster: re-adopted %d in-flight lease(s) from %s", len(adopted), cfg.JournalPath)
+		}
+	}
+	return c, nil
+}
+
+// Close releases the lease journal.
+func (c *Coordinator) Close() error { return c.jnl.close() }
+
+// Metrics returns the coordinator's metric set.
+func (c *Coordinator) Metrics() *obs.MetricSet { return c.cfg.Metrics }
+
+// Mount registers the coordinator's endpoints on the daemon's mux (before
+// Start).
+func (c *Coordinator) Mount(m Mux) {
+	m.HandleFunc("POST /v1/cluster/join", c.handleJoin)
+	m.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	m.HandleFunc("GET /v1/cluster/workers", c.handleWorkers)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	if req.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: "join without an advertised address"})
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	c.mu.Lock()
+	// A rejoin from the same address replaces the stale registration: the
+	// old ID dies with the old process (or the old coordinator's roster).
+	for id, ws := range c.workers {
+		if ws.addr == req.Addr {
+			delete(c.workers, id)
+		}
+	}
+	c.seq++
+	ws := &workerState{
+		id:    fmt.Sprintf("w%04d", c.seq),
+		name:  req.Name,
+		addr:  req.Addr,
+		slots: req.Slots,
+	}
+	ws.lastSeen = c.cfg.now()
+	c.workers[ws.id] = ws
+	alive := c.aliveLocked()
+	c.mu.Unlock()
+	c.cfg.Metrics.Add("workers_joined", 1)
+	c.cfg.Metrics.Set("workers_alive", float64(alive))
+	c.logf("cluster: worker %s (%s) joined from %s, %d slot(s)", ws.id, ws.name, ws.addr, ws.slots)
+	writeJSON(w, http.StatusOK, JoinResponse{
+		ID:              ws.id,
+		HeartbeatMillis: c.cfg.Heartbeat.Milliseconds(),
+		LeaseTTLMillis:  c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.ID]
+	if ok {
+		ws.mu.Lock()
+		ws.depth = req.Depth
+		ws.lastSeen = c.cfg.now()
+		ws.mu.Unlock()
+	}
+	alive := c.aliveLocked()
+	c.mu.Unlock()
+	c.cfg.Metrics.Set("workers_alive", float64(alive))
+	if !ok {
+		// This coordinator does not know the ID (it restarted): the worker
+		// rejoins and gets a fresh one.
+		writeJSON(w, http.StatusNotFound, errorDoc{Error: "unknown worker; rejoin"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	infos := make([]WorkerInfo, 0, len(c.workers))
+	for _, ws := range c.workers {
+		ws.mu.Lock()
+		infos = append(infos, WorkerInfo{
+			ID: ws.id, Name: ws.name, Addr: ws.addr, Slots: ws.slots,
+			Depth: ws.depth, Leases: ws.leases,
+			Alive:             now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry,
+			LastSeenMillisAgo: now.Sub(ws.lastSeen).Milliseconds(),
+		})
+		ws.mu.Unlock()
+	}
+	c.mu.Unlock()
+	// Stable roster order for operators and tests.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].ID < infos[j-1].ID; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, WorkersResponse{Workers: infos})
+}
+
+// aliveLocked counts workers within the heartbeat window; c.mu held.
+func (c *Coordinator) aliveLocked() int {
+	now := c.cfg.now()
+	n := 0
+	for _, ws := range c.workers {
+		ws.mu.Lock()
+		if now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry {
+			n++
+		}
+		ws.mu.Unlock()
+	}
+	return n
+}
+
+// pickWorker chooses a live worker by power-of-two-choices over load
+// (reported depth + outstanding leases), granting it one lease. prefer, when
+// non-empty, names the adopted worker address to pin the first re-dispatch
+// of a recovered lease to; avoid is the address of the worker whose attempt
+// just failed or expired (honored only when an alternative exists). Blocks
+// while the roster has no live workers, until ctx is done.
+func (c *Coordinator) pickWorker(ctx context.Context, prefer, avoid string) (*workerState, error) {
+	for {
+		now := c.cfg.now()
+		c.mu.Lock()
+		var alive []*workerState
+		for _, ws := range c.workers {
+			ws.mu.Lock()
+			ok := now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry
+			ws.mu.Unlock()
+			if ok {
+				alive = append(alive, ws)
+			}
+		}
+		var pick *workerState
+		if len(alive) > 0 {
+			// Pin to the adopted worker when it is still alive.
+			for _, ws := range alive {
+				if prefer != "" && ws.addr == prefer {
+					pick = ws
+					break
+				}
+			}
+			if pick == nil {
+				candidates := alive
+				if avoid != "" && len(alive) > 1 {
+					candidates = make([]*workerState, 0, len(alive)-1)
+					for _, ws := range alive {
+						if ws.addr != avoid {
+							candidates = append(candidates, ws)
+						}
+					}
+					if len(candidates) == 0 {
+						candidates = alive
+					}
+				}
+				// Two choices, keep the less loaded: exponentially better
+				// balance than one choice, no global scan contention.
+				pick = candidates[c.rnd.Intn(len(candidates))]
+				if len(candidates) > 1 {
+					other := candidates[c.rnd.Intn(len(candidates))]
+					if other.load() < pick.load() {
+						pick = other
+					}
+				}
+			}
+			pick.mu.Lock()
+			pick.leases++
+			pick.mu.Unlock()
+		}
+		c.mu.Unlock()
+		if pick != nil {
+			return pick, nil
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: no live workers: %w", ctx.Err())
+		}
+	}
+}
+
+// releaseLease returns a lease granted by pickWorker.
+func (c *Coordinator) releaseLease(ws *workerState) {
+	ws.mu.Lock()
+	ws.leases--
+	ws.mu.Unlock()
+}
+
+// gather collects sub-job results under first-terminal-write-wins: the
+// first complete record set delivered for a sub-job key is folded in
+// (journaled, checkpointed, counted into progress); anything after it —
+// typically a slow worker answering after its lease expired and the sub-job
+// was re-dispatched — is discarded and counted as a duplicate.
+type gather struct {
+	c     *Coordinator
+	exp   *sweep.Experiment
+	fp    string
+	ckpt  *sweep.CheckpointWriter
+	total int
+
+	mu      sync.Mutex
+	records map[sweep.RepKey]sweep.RepRecord
+	done    map[string]bool // sub-job key -> folded
+	reps    int
+	ckptErr error
+}
+
+// expectedKeys builds the record keys a sub-job must deliver.
+func expectedKeys(sj sweep.Subjob) map[sweep.RepKey]bool {
+	want := make(map[sweep.RepKey]bool, len(sj.Reps))
+	for _, rep := range sj.Reps {
+		want[sweep.RepKey{Scheme: sj.Scheme, Rho: sj.Rho, Rep: rep}] = true
+	}
+	return want
+}
+
+// deliver folds one sub-job's records. It reports whether this delivery won
+// (false for duplicates and malformed record sets).
+func (g *gather) deliver(sj sweep.Subjob, key string, recs []sweep.RepRecord, cached bool) bool {
+	want := expectedKeys(sj)
+	if len(recs) != len(want) {
+		return false
+	}
+	for _, rec := range recs {
+		if !want[rec.Key()] {
+			return false
+		}
+		delete(want, rec.Key())
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done[key] {
+		g.c.cfg.Metrics.Add("subjob_duplicates", 1)
+		return false
+	}
+	g.done[key] = true
+	if cached {
+		g.c.cfg.Metrics.Add("subjob_cache_hits", 1)
+	}
+	for _, rec := range recs {
+		g.records[rec.Key()] = rec
+		if g.ckpt != nil && g.ckptErr == nil {
+			g.ckptErr = g.ckpt.Append(rec)
+		}
+		g.reps++
+		if g.exp.Progress != nil {
+			g.exp.Progress(g.reps, g.total)
+		}
+	}
+	g.c.journalLease(fleetRecord{Op: fleetOpDone, FP: g.fp, Key: key})
+	return true
+}
+
+// isDone reports whether a sub-job has already been folded.
+func (g *gather) isDone(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.done[key]
+}
+
+// journalLease appends to the lease journal, logging (not failing) on
+// error: a full disk must degrade re-adoption, not wedge the fleet.
+func (c *Coordinator) journalLease(rec fleetRecord) {
+	rec.Time = c.cfg.now().UTC().Format(time.RFC3339)
+	if err := c.jnl.append(rec); err != nil {
+		c.logf("cluster: journaling lease %s/%s: %v", rec.Op, rec.Key, err)
+	}
+}
+
+// adoptedAddr consumes the re-adopted worker address for a sub-job, if any.
+func (c *Coordinator) adoptedAddr(fp, key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr := c.adopted[leaseKey(fp, key)]
+	delete(c.adopted, leaseKey(fp, key))
+	return addr
+}
+
+// RunJob executes an experiment across the fleet: decompose into sub-jobs
+// (skipping replications already in the checkpoint journal), scatter under
+// leases, gather with first-terminal-write-wins, and assemble in index
+// order. It honors the experiment's Checkpoint/Resume fields exactly like
+// sweep.Experiment.Run, so the serve layer's crash recovery — WAL replay
+// re-running the job, checkpoint replay skipping finished replications —
+// works unchanged when the execution engine is the fleet. The returned
+// Result is byte-identical (through serve's deterministic encoding) to a
+// single-node run of the same experiment.
+func (c *Coordinator) RunJob(exp *sweep.Experiment) (*sweep.Result, error) {
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	if exp.Fingerprint == "" {
+		// Workers re-derive the canonical fingerprint from the spec and
+		// refuse mismatches, so the coordinator must fold under the same
+		// canonical identity even when the caller did not stamp one.
+		if err := spec.Stamp(exp); err != nil {
+			return nil, fmt.Errorf("cluster: stamping spec: %w", err)
+		}
+	}
+	ctx := exp.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fp := exp.JournalFingerprint()
+	specJSON, err := spec.Canonical(exp)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: canonicalizing spec: %w", err)
+	}
+	start := time.Now()
+
+	// Checkpoint replay/create, mirroring sweep.Run.
+	records := make(map[sweep.RepKey]sweep.RepRecord)
+	var ckpt *sweep.CheckpointWriter
+	if exp.Checkpoint != "" {
+		if exp.Resume {
+			resumed, validLen, found, err := sweep.LoadCheckpoint(exp.Checkpoint, fp)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				records = resumed
+				ckpt, err = sweep.OpenCheckpointAppend(exp.Checkpoint, validLen)
+			} else {
+				ckpt, err = sweep.CreateCheckpoint(exp.Checkpoint, fp)
+			}
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if ckpt, err = sweep.CreateCheckpoint(exp.Checkpoint, fp); err != nil {
+				return nil, err
+			}
+		}
+		defer ckpt.Close()
+	}
+	resumed := len(records)
+
+	subjobs, err := exp.Subjobs(func(k sweep.RepKey) bool {
+		_, ok := records[k]
+		return ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, sj := range subjobs {
+		total += len(sj.Reps)
+	}
+
+	g := &gather{
+		c: c, exp: exp, fp: fp, ckpt: ckpt, total: total,
+		records: records,
+		done:    make(map[string]bool),
+	}
+
+	sem := make(chan struct{}, c.cfg.MaxInflight)
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failErr error
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+			cancelRun() // one dead sub-job fails the attempt; stop the rest
+		}
+		failMu.Unlock()
+	}
+
+	for _, sj := range subjobs {
+		wg.Add(1)
+		go func(sj sweep.Subjob) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				return
+			}
+			if err := c.superviseSubjob(runCtx, g, specJSON, sj); err != nil {
+				fail(err)
+			}
+		}(sj)
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	ckptErr := g.ckptErr
+	g.mu.Unlock()
+	if ckptErr != nil {
+		return nil, fmt.Errorf("cluster: writing checkpoint: %w", ckptErr)
+	}
+	return exp.Assemble(records, resumed, time.Since(start)), nil
+}
+
+// postResult is one sub-job call's outcome.
+type postResult struct {
+	resp SubjobResponse
+	err  error
+}
+
+// superviseSubjob drives one sub-job to completion: lease a worker, post
+// the call, and either fold the result or — on lease expiry or worker
+// failure — re-dispatch to a different worker while the original call keeps
+// running (its late result, if any, hits the duplicate-discard path).
+func (c *Coordinator) superviseSubjob(ctx context.Context, g *gather, specJSON []byte, sj sweep.Subjob) error {
+	key := sj.Key()
+	prefer := c.adoptedAddr(g.fp, key)
+	avoid := ""
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.SubjobRetries; attempt++ {
+		if g.isDone(key) {
+			return nil // a late delivery from an expired lease beat us to it
+		}
+		ws, err := c.pickWorker(ctx, prefer, avoid)
+		prefer = ""
+		if err != nil {
+			return err
+		}
+		c.journalLease(fleetRecord{Op: fleetOpGrant, FP: g.fp, Key: key, Addr: ws.addr, Attempt: attempt})
+		c.cfg.Metrics.Add("subjobs_dispatched", 1)
+
+		// The call gets its own generous deadline, far past the lease: a
+		// lease expiry re-dispatches but deliberately does not abort the
+		// call, so a slow-but-alive worker still completes the sub-job.
+		callCtx, cancelCall := context.WithTimeout(context.Background(), 20*c.cfg.LeaseTTL)
+		resCh := make(chan postResult, 1)
+		go func() {
+			var resp SubjobResponse
+			err := postJSON(callCtx, c.hc, baseURL(ws.addr)+"/v1/cluster/subjob", SubjobRequest{
+				Fingerprint: g.fp, Spec: specJSON, Key: key, Subjob: sj,
+			}, &resp)
+			resCh <- postResult{resp: resp, err: err}
+		}()
+
+		lease := time.NewTimer(c.cfg.LeaseTTL)
+		select {
+		case res := <-resCh:
+			lease.Stop()
+			cancelCall()
+			c.releaseLease(ws)
+			if res.err == nil {
+				if g.deliver(sj, key, res.resp.Records, res.resp.Cached) || g.isDone(key) {
+					return nil
+				}
+				res.err = fmt.Errorf("cluster: worker %s returned a malformed record set for %s", ws.addr, key)
+			}
+			c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
+			lastErr = res.err
+			avoid = ws.addr
+			c.cfg.Metrics.Add("subjobs_redispatched", 1)
+			c.logf("cluster: sub-job %s attempt %d on %s failed: %v", key, attempt, ws.addr, res.err)
+
+		case <-lease.C:
+			// Lease expired: journal it, leave the call running, and hand
+			// the sub-job to another worker. Whichever result lands first
+			// wins; the loser is discarded and counted.
+			c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
+			c.cfg.Metrics.Add("leases_expired", 1)
+			c.cfg.Metrics.Add("subjobs_redispatched", 1)
+			c.logf("cluster: lease on sub-job %s expired at %s (attempt %d); re-dispatching", key, ws.addr, attempt)
+			go func() {
+				res := <-resCh
+				cancelCall()
+				c.releaseLease(ws)
+				if res.err == nil {
+					g.deliver(sj, key, res.resp.Records, res.resp.Cached)
+				}
+			}()
+			lastErr = fmt.Errorf("cluster: lease expired on %s", ws.addr)
+			avoid = ws.addr
+
+		case <-ctx.Done():
+			lease.Stop()
+			cancelCall()
+			c.releaseLease(ws)
+			return ctx.Err()
+		}
+	}
+	if g.isDone(key) {
+		return nil
+	}
+	return fmt.Errorf("cluster: sub-job %s failed %d dispatch attempt(s): %w", key, c.cfg.SubjobRetries, lastErr)
+}
+
+// decodeBody decodes a JSON request body.
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %v", err)
+	}
+	return nil
+}

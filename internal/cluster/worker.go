@@ -1,0 +1,293 @@
+package cluster
+
+// The worker half of the fleet: an executor that runs sub-jobs posted by a
+// coordinator, and an agent that keeps the worker registered (join with
+// retry, periodic heartbeats carrying the queue depth, rejoin when a
+// restarted coordinator no longer knows the ID).
+//
+// The executor keeps a content-addressed sub-job cache keyed by
+// (experiment fingerprint, sub-job key): a re-dispatched sub-job — lease
+// expired, coordinator restarted, or an overlapping sweep from another
+// client — is answered from memory instead of re-simulated. Together with
+// the coordinator's first-terminal-write-wins gather this is what makes
+// re-dispatch safe to do eagerly: the cost of a spurious duplicate is one
+// map lookup, not a re-run.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prioritystar/internal/obs"
+	"prioritystar/internal/sim"
+	"prioritystar/internal/spec"
+	"prioritystar/internal/sweep"
+)
+
+// WorkerConfig tunes a sub-job executor.
+type WorkerConfig struct {
+	// Slots bounds concurrently executing sub-jobs. Default 1.
+	Slots int
+	// SlotsPerSubjob caps each sub-job's internal sweep parallelism
+	// (sweep.Experiment.Workers); 0 keeps the sweep default (GOMAXPROCS).
+	SlotsPerSubjob int
+	// Metrics receives the worker's counters; a fresh set is allocated when
+	// nil.
+	Metrics *obs.MetricSet
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// engine is folded into the fingerprint check; fixed to
+	// sim.EngineVersion, overridable only by tests.
+	engine string
+}
+
+// Worker executes sub-jobs on behalf of a coordinator.
+type Worker struct {
+	cfg   WorkerConfig
+	sem   chan struct{}
+	depth atomic.Int64 // queued + running sub-jobs (the heartbeat load signal)
+
+	mu    sync.Mutex
+	cache map[string][]sweep.RepRecord // leaseKey(fp, subjob key) -> records
+}
+
+// NewWorker builds a sub-job executor.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &obs.MetricSet{}
+	}
+	if cfg.engine == "" {
+		cfg.engine = sim.EngineVersion
+	}
+	return &Worker{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Slots),
+		cache: make(map[string][]sweep.RepRecord),
+	}
+}
+
+// Mount registers the worker's endpoint on the daemon's mux (before Start).
+func (w *Worker) Mount(m Mux) {
+	m.HandleFunc("POST /v1/cluster/subjob", w.handleSubjob)
+}
+
+// Metrics returns the worker's metric set.
+func (w *Worker) Metrics() *obs.MetricSet { return w.cfg.Metrics }
+
+// Depth reports the current sub-job backlog (queued + running) — the load
+// signal heartbeats carry to the coordinator's two-choice dispatch.
+func (w *Worker) Depth() int { return int(w.depth.Load()) }
+
+// cached returns the cached records for a sub-job, if present.
+func (w *Worker) cachedRecords(k string) ([]sweep.RepRecord, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	recs, ok := w.cache[k]
+	return recs, ok
+}
+
+func (w *Worker) handleSubjob(rw http.ResponseWriter, r *http.Request) {
+	var req SubjobRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding sub-job: %v", err)})
+		return
+	}
+	if req.Fingerprint == "" || req.Key == "" {
+		writeJSON(rw, http.StatusBadRequest, errorDoc{Error: "sub-job without fingerprint or key"})
+		return
+	}
+	ck := leaseKey(req.Fingerprint, req.Key)
+	if recs, ok := w.cachedRecords(ck); ok {
+		w.cfg.Metrics.Add("subjob_cache_hits", 1)
+		w.cfg.Metrics.Add("subjobs_served", 1)
+		writeJSON(rw, http.StatusOK, SubjobResponse{Records: recs, Cached: true})
+		return
+	}
+
+	// Count the request into the backlog before queueing on the slot
+	// semaphore, so the depth the coordinator load-balances on includes
+	// waiting work, not just running work.
+	w.depth.Add(1)
+	defer w.depth.Add(-1)
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	// The wait may have outlived an identical in-flight run: check again.
+	if recs, ok := w.cachedRecords(ck); ok {
+		w.cfg.Metrics.Add("subjob_cache_hits", 1)
+		w.cfg.Metrics.Add("subjobs_served", 1)
+		writeJSON(rw, http.StatusOK, SubjobResponse{Records: recs, Cached: true})
+		return
+	}
+
+	exp, err := spec.Decode(req.Spec)
+	if err == nil {
+		err = spec.Stamp(exp)
+	}
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("bad sub-job spec: %v", err)})
+		return
+	}
+	// Version-skew defense: this worker must derive the exact fingerprint
+	// the coordinator is folding under, or its records would corrupt a
+	// result claiming an identity the worker cannot honor.
+	if exp.Fingerprint != req.Fingerprint {
+		w.cfg.Metrics.Add("subjobs_rejected_skew", 1)
+		writeJSON(rw, http.StatusConflict, errorDoc{Error: fmt.Sprintf(
+			"fingerprint mismatch: coordinator %s, worker derives %s (engine %s)",
+			req.Fingerprint, exp.Fingerprint, w.cfg.engine)})
+		return
+	}
+	if w.cfg.SlotsPerSubjob > 0 {
+		exp.Workers = w.cfg.SlotsPerSubjob
+	}
+	exp.Context = r.Context()
+
+	recs, err := exp.RunSubjob(req.Subjob)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return // caller gone; nothing useful to write
+		}
+		writeJSON(rw, http.StatusBadRequest, errorDoc{Error: err.Error()})
+		return
+	}
+	w.mu.Lock()
+	w.cache[ck] = recs
+	w.mu.Unlock()
+	w.cfg.Metrics.Add("cluster_reps_simulated", int64(len(recs)))
+	w.cfg.Metrics.Add("subjobs_served", 1)
+	writeJSON(rw, http.StatusOK, SubjobResponse{Records: recs})
+}
+
+// AgentConfig tunes the registration agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's address ("host:port" or base URL).
+	Coordinator string
+	// Advertise is this worker's reachable address, sent at join.
+	Advertise string
+	// Name is a human label for the roster.
+	Name string
+	// Slots is the advertised concurrency (WorkerConfig.Slots).
+	Slots int
+	// Depth supplies the backlog signal for heartbeats (Worker.Depth).
+	Depth func() int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Agent keeps a worker registered with its coordinator: join (with retry),
+// heartbeat at the cadence the coordinator dictates, rejoin when the
+// coordinator restarts and forgets the ID.
+type Agent struct {
+	cfg    AgentConfig
+	hc     *http.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// StartAgent launches the registration loop in the background.
+func StartAgent(cfg AgentConfig) *Agent {
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		cfg:    cfg,
+		hc:     &http.Client{Timeout: 10 * time.Second},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go a.loop(ctx)
+	return a
+}
+
+// Stop deregisters the agent (by silence: the coordinator expires the
+// worker after missed heartbeats) and waits for the loop to exit.
+func (a *Agent) Stop() {
+	a.cancel()
+	<-a.done
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// loop joins, heartbeats, and rejoins until canceled.
+func (a *Agent) loop(ctx context.Context) {
+	defer close(a.done)
+	base := baseURL(a.cfg.Coordinator)
+	backoff := 200 * time.Millisecond
+	for ctx.Err() == nil {
+		var jr JoinResponse
+		err := postJSON(ctx, a.hc, base+"/v1/cluster/join", JoinRequest{
+			Name: a.cfg.Name, Addr: a.cfg.Advertise, Slots: a.cfg.Slots,
+		}, &jr)
+		if err != nil {
+			a.logf("cluster: join %s: %v (retrying in %v)", base, err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 200 * time.Millisecond
+		a.logf("cluster: joined %s as %s", base, jr.ID)
+		every := time.Duration(jr.HeartbeatMillis) * time.Millisecond
+		if every <= 0 {
+			every = 2 * time.Second
+		}
+		a.heartbeatUntilLost(ctx, base, jr.ID, every)
+	}
+}
+
+// heartbeatUntilLost heartbeats at the given cadence until the coordinator
+// answers 404 (it restarted: rejoin) or repeated sends fail (it is gone:
+// back to join-with-retry).
+func (a *Agent) heartbeatUntilLost(ctx context.Context, base, id string, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		depth := 0
+		if a.cfg.Depth != nil {
+			depth = a.cfg.Depth()
+		}
+		err := postJSON(ctx, a.hc, base+"/v1/cluster/heartbeat", HeartbeatRequest{ID: id, Depth: depth}, nil)
+		switch {
+		case err == nil:
+			misses = 0
+		default:
+			var se *StatusError
+			if errors.As(err, &se) && se.Code == http.StatusNotFound {
+				a.logf("cluster: coordinator forgot %s; rejoining", id)
+				return
+			}
+			if misses++; misses >= 3 {
+				a.logf("cluster: %d heartbeats failed (%v); rejoining", misses, err)
+				return
+			}
+		}
+	}
+}

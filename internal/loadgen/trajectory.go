@@ -65,6 +65,9 @@ type Record struct {
 	Seed        uint64  `json:"seed"`
 	Mix         string  `json:"mix"`
 	Race        bool    `json:"race,omitempty"`
+	// Workers counts the fleet worker daemons behind the target daemon
+	// (psload -boot -workers N); 0 is a single-node run.
+	Workers int `json:"workers,omitempty"`
 
 	// Ops maps endpoint keys ("submit", "watch", "result", "metrics",
 	// "submit_rejected") to their latency records.

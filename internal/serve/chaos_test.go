@@ -357,6 +357,76 @@ func TestCacheSkipsCorruptRecords(t *testing.T) {
 	}
 }
 
+// TestSkippedRecordsSurfaceAsMetric: lenient journal loads count their
+// dropped records into the journal_records_skipped counter so operators can
+// alarm on silent cache/WAL decay instead of grepping logs. The counter is
+// registered even when zero.
+func TestSkippedRecordsSurfaceAsMetric(t *testing.T) {
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.jsonl")
+	walPath := filepath.Join(dir, "wal.jsonl")
+
+	// A cache journal with one good and one corrupt record.
+	w, err := journal.Create(cachePath, cacheMagic, sim.EngineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(cacheRecord{Key: "ps1-aaa", Result: json.RawMessage(`{"a":1}`)})
+	w.Close()
+	f, err := os.OpenFile(cachePath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("garbage{{{\n")
+	f.Close()
+	w2, err := journal.OpenAppend(cachePath, fileSizeOf(t, cachePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Append(cacheRecord{Key: "ps1-bbb", Result: json.RawMessage(`{"b":2}`)})
+	w2.Close()
+
+	// A WAL with one interior corrupt line between valid records.
+	jw, err := journal.Create(walPath, walMagic, sim.EngineVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Append(walRecord{Op: walOpAccept, ID: "j000001", Fingerprint: "ps1-x", Spec: json.RawMessage(`{}`)})
+	jw.Close()
+	f, err = os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("%%%not json%%%\n")
+	f.Close()
+	jw2, err := journal.OpenAppend(walPath, fileSizeOf(t, walPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw2.Append(walRecord{Op: StateCanceled, ID: "j000001"})
+	jw2.Close()
+
+	s, _ := newTestServer(t, Config{Workers: 1, CachePath: cachePath, WALPath: walPath})
+	defer s.Shutdown(context.Background())
+	snap := s.Metrics().Snapshot()
+	if got := snap.Counters["journal_records_skipped"]; got != 2 {
+		t.Fatalf("journal_records_skipped = %d, want 2 (one cache + one WAL)", got)
+	}
+
+	// And on pristine journals the counter still exists, at zero.
+	dir2 := t.TempDir()
+	s2, _ := newTestServer(t, Config{
+		Workers:   1,
+		CachePath: filepath.Join(dir2, "cache.jsonl"),
+		WALPath:   filepath.Join(dir2, "wal.jsonl"),
+	})
+	defer s2.Shutdown(context.Background())
+	snap2 := s2.Metrics().Snapshot()
+	if got, ok := snap2.Counters["journal_records_skipped"]; !ok || got != 0 {
+		t.Fatalf("journal_records_skipped = %d (present %t), want 0 and registered", got, ok)
+	}
+}
+
 func fileSizeOf(t *testing.T, path string) int64 {
 	t.Helper()
 	st, err := os.Stat(path)

@@ -503,14 +503,19 @@ func (m *manager) backoff(attempt int) time.Duration {
 	return min(d, time.Minute)
 }
 
-// runJobSafe executes the sweep, converting a panic into an error so a
-// poisoned job burns a retry instead of the whole daemon.
-func runJobSafe(exp *sweep.Experiment) (res *sweep.Result, err error) {
+// runJobSafe executes the sweep — through cfg.RunJob when the cluster
+// coordinator (or a test) has plugged one in, locally otherwise —
+// converting a panic into an error so a poisoned job burns a retry instead
+// of the whole daemon.
+func (m *manager) runJobSafe(exp *sweep.Experiment) (res *sweep.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: job panicked: %v", r)
 		}
 	}()
+	if m.cfg.RunJob != nil {
+		return m.cfg.RunJob(exp)
+	}
 	return exp.Run()
 }
 
@@ -603,7 +608,7 @@ func (m *manager) runAttempt(j *job) attemptVerdict {
 	}
 
 	start := time.Now()
-	res, err := runJobSafe(exp)
+	res, err := m.runJobSafe(exp)
 	elapsed := time.Since(start)
 
 	if err == nil {

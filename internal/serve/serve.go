@@ -36,6 +36,7 @@ import (
 	"prioritystar/internal/obs"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/spec"
+	"prioritystar/internal/sweep"
 )
 
 // Config tunes the daemon.
@@ -71,6 +72,21 @@ type Config struct {
 	JobTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// ReadHeaderTimeout bounds how long a connection may dribble its request
+	// headers before being dropped (slow-loris defense). Default 5s.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle between requests.
+	// Default 2m. There is deliberately no WriteTimeout: it would apply to
+	// the whole response lifetime and kill long-lived SSE watches.
+	IdleTimeout time.Duration
+	// RunJob, when non-nil, replaces sweep.Experiment.Run as the execution
+	// engine for accepted jobs. The cluster coordinator plugs in here to
+	// scatter each job across a worker fleet; everything around the hook
+	// (queueing, retries, WAL, checkpoints, the result cache) is unchanged,
+	// and the hook must honor the experiment's Checkpoint/Resume fields so
+	// crash recovery keeps working. It must be deterministic: the returned
+	// Result must encode to the same bytes Run would produce.
+	RunJob func(*sweep.Experiment) (*sweep.Result, error)
 	// Metrics receives the daemon's counters and gauges; a fresh set is
 	// allocated when nil.
 	Metrics *obs.MetricSet
@@ -113,6 +129,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 250 * time.Millisecond
 	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = &obs.MetricSet{}
 	}
@@ -124,13 +146,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: opening result cache: %w", err)
 	}
 	var (
-		w       *wal
-		ckptDir string
-		pending []walJob
-		maxSeq  int
+		w          *wal
+		ckptDir    string
+		pending    []walJob
+		maxSeq     int
+		walSkipped int
 	)
 	if cfg.WALPath != "" {
-		w, pending, maxSeq, err = openWAL(cfg.WALPath, cfg.engine, cfg.Logf)
+		w, pending, maxSeq, walSkipped, err = openWAL(cfg.WALPath, cfg.engine, cfg.Logf)
 		if err != nil {
 			return nil, fmt.Errorf("serve: opening job WAL: %w", err)
 		}
@@ -139,6 +162,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: creating checkpoint dir: %w", err)
 		}
 	}
+	// Corrupt journal records are skipped (leniently) at load so one bad
+	// sector never discards a cache or WAL — but silent decay is an operator
+	// problem, so the skip count is a first-class metric, not just a log
+	// line. Registered even at zero so fleet dashboards can alarm on it.
+	cfg.Metrics.Add("journal_records_skipped", int64(c.skipped+walSkipped))
 	s := &Server{cfg: cfg, mgr: newManager(cfg, c, w, ckptDir, pending, maxSeq)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
@@ -172,6 +200,14 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 // server or for tests.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// HandleFunc mounts an extra route on the daemon's mux — the hook the
+// cluster layer uses to add its coordinator/worker endpoints to the same
+// listener. Must be called before Start (ServeMux registration is not
+// synchronized with serving).
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
 // Start binds the listen address and serves in the background until
 // Shutdown. It returns the bound address (useful with ":0").
 func (s *Server) Start() (string, error) {
@@ -184,7 +220,14 @@ func (s *Server) Start() (string, error) {
 		return "", fmt.Errorf("serve: %w", err)
 	}
 	s.ln = ln
-	s.http = &http.Server{Handler: s.mux}
+	// ReadHeaderTimeout drops slow-loris connections; IdleTimeout reaps
+	// idle keep-alives. No WriteTimeout: it would cover the entire response
+	// and sever long-lived SSE watch streams.
+	s.http = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 	go s.http.Serve(ln)
 	if s.cfg.Logf != nil {
 		s.cfg.Logf("serve: listening on %s", ln.Addr())

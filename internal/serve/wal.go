@@ -107,9 +107,11 @@ type walJob struct {
 // fsync-on-append writer positioned after the compacted records. pending
 // holds the unfinished jobs in acceptance order; maxSeq is the largest
 // numeric job-ID suffix seen, so freshly submitted jobs never collide with
-// recovered ones. A WAL written by a different engine version is discarded:
-// its fingerprints no longer name what this engine would compute.
-func openWAL(path, engine string, logf func(string, ...any)) (w *wal, pending []walJob, maxSeq int, err error) {
+// recovered ones; skipped counts corrupt records dropped by the lenient
+// load (surfaced as the journal_records_skipped metric). A WAL written by a
+// different engine version is discarded: its fingerprints no longer name
+// what this engine would compute.
+func openWAL(path, engine string, logf func(string, ...any)) (w *wal, pending []walJob, maxSeq, skipped int, err error) {
 	byID := make(map[string]*walJob)
 	var order []string
 	terminal := make(map[string]bool)
@@ -151,7 +153,7 @@ func openWAL(path, engine string, logf func(string, ...any)) (w *wal, pending []
 		err = nil
 	}
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	if skipped > 0 && logf != nil {
 		logf("serve: job WAL %s: skipped %d corrupt record(s)", path, skipped)
@@ -169,7 +171,7 @@ func openWAL(path, engine string, logf func(string, ...any)) (w *wal, pending []
 	tmp := path + ".tmp"
 	jw, err := journal.Create(tmp, walMagic, engine)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	for _, pj := range pending {
 		if err := jw.Append(walRecord{
@@ -177,25 +179,25 @@ func openWAL(path, engine string, logf func(string, ...any)) (w *wal, pending []
 			Spec: pj.spec, Attempt: pj.attempts,
 		}); err != nil {
 			jw.Close()
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 	}
 	if err := jw.Close(); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return nil, nil, 0, fmt.Errorf("serve: compacting job WAL: %w", err)
+		return nil, nil, 0, 0, fmt.Errorf("serve: compacting job WAL: %w", err)
 	}
 	fi, err := os.Stat(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	jw, err = journal.OpenAppend(path, fi.Size())
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, 0, 0, err
 	}
 	jw.SetSync(true) // accepted jobs are promises: survive power loss
-	return &wal{w: jw}, pending, maxSeq, nil
+	return &wal{w: jw}, pending, maxSeq, skipped, nil
 }
 
 // jobSeq extracts the numeric suffix of a "j%06d" job ID.

@@ -10,6 +10,12 @@ package sweep
 // cover. Because aggregation is order-deterministic over (scheme, rho, rep)
 // — never over completion order — a resumed sweep produces the exact table
 // an uninterrupted one would.
+//
+// The checkpoint types are exported because the cluster coordinator
+// (internal/cluster) maintains the same journal while scattering sub-jobs
+// across a fleet: records gathered from remote workers land in the same
+// format, so a distributed sweep resumes (and folds) exactly like a local
+// one.
 
 import (
 	"encoding/json"
@@ -51,9 +57,14 @@ func (f *jsonFloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// repRecord is one completed replication: everything aggregation needs, so
-// a resumed sweep never re-runs the simulation behind it.
-type repRecord struct {
+// RepKey identifies one replication of one (scheme, rho) cell by index.
+type RepKey struct{ Scheme, Rho, Rep int }
+
+// RepRecord is one completed replication: everything aggregation needs, so
+// a resumed sweep never re-runs the simulation behind it. It is both the
+// checkpoint-journal line format and the wire format cluster workers return
+// sub-job results in.
+type RepRecord struct {
 	Scheme int `json:"s"`
 	Rho    int `json:"r"`
 	Rep    int `json:"rep"`
@@ -74,6 +85,9 @@ type repRecord struct {
 	Status string `json:"status,omitempty"` // sim.Status name when not "ok"
 	Err    string `json:"err,omitempty"`    // per-rep failure (panic, bad config)
 }
+
+// Key returns the record's (scheme, rho, rep) index key.
+func (r RepRecord) Key() RepKey { return RepKey{r.Scheme, r.Rho, r.Rep} }
 
 // fingerprint identifies the experiment a journal belongs to: resuming with
 // a different grid, scheme list, seed, or fault schedule must error rather
@@ -96,50 +110,57 @@ func (e *Experiment) fingerprint() string {
 	return b.String()
 }
 
-// journal adapts the shared writer to the sweep-local record type.
-type journal struct {
+// JournalFingerprint is the identity a checkpoint journal for this
+// experiment is keyed by: the stamped canonical fingerprint when present,
+// else a legacy descriptor derived from the fields.
+func (e *Experiment) JournalFingerprint() string { return e.fingerprint() }
+
+// CheckpointWriter appends replication records to a checkpoint journal.
+type CheckpointWriter struct {
 	w *journalpkg.Writer
 }
 
-func (j *journal) append(rec repRecord) error { return j.w.Append(rec) }
+// Append journals one completed replication (flushed immediately).
+func (c *CheckpointWriter) Append(rec RepRecord) error { return c.w.Append(rec) }
 
-func (j *journal) close() error { return j.w.Close() }
+// Close flushes and closes the journal.
+func (c *CheckpointWriter) Close() error { return c.w.Close() }
 
-// createJournal truncates (or creates) path and writes the header line.
-func createJournal(path, fingerprint string) (*journal, error) {
+// CreateCheckpoint truncates (or creates) path and writes the header line.
+func CreateCheckpoint(path, fingerprint string) (*CheckpointWriter, error) {
 	j, err := journalpkg.Create(path, journalMagic, fingerprint)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: creating checkpoint: %w", err)
 	}
-	return &journal{w: j}, nil
+	return &CheckpointWriter{w: j}, nil
 }
 
-// openJournalAppend opens an existing journal for appending new records,
+// OpenCheckpointAppend opens an existing journal for appending new records,
 // first truncating it to validLen so a torn final line from the crash does
 // not swallow the next record written after it.
-func openJournalAppend(path string, validLen int64) (*journal, error) {
+func OpenCheckpointAppend(path string, validLen int64) (*CheckpointWriter, error) {
 	j, err := journalpkg.OpenAppend(path, validLen)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: opening checkpoint: %w", err)
 	}
-	return &journal{w: j}, nil
+	return &CheckpointWriter{w: j}, nil
 }
 
-// loadJournal replays a checkpoint file. It verifies the header fingerprint
-// against the experiment, returns every intact record keyed by
-// (scheme, rho, rep), and tolerates a torn final line (the crash case the
-// journal exists for). validLen is the byte length of the intact prefix —
-// the caller truncates to it before appending, so a torn tail can never
-// corrupt the first record a resumed sweep writes. A missing file is not an
-// error: the sweep simply starts from scratch.
-func loadJournal(path, fingerprint string) (recs map[repKey]repRecord, validLen int64, found bool, err error) {
-	recs = make(map[repKey]repRecord)
+// LoadCheckpoint replays a checkpoint file. It verifies the header
+// fingerprint, returns every intact record keyed by (scheme, rho, rep), and
+// tolerates a torn final line (the crash case the journal exists for).
+// validLen is the byte length of the intact prefix — the caller truncates to
+// it before appending, so a torn tail can never corrupt the first record a
+// resumed sweep writes. A missing file is not an error: the sweep simply
+// starts from scratch.
+func LoadCheckpoint(path, fingerprint string) (recs map[RepKey]RepRecord, validLen int64, found bool, err error) {
+	recs = make(map[RepKey]RepRecord)
 	validLen, found, err = journalpkg.Load(path, journalMagic, fingerprint, func(line []byte) error {
-		var rec repRecord
+		var rec RepRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			return err // torn tail from a crash: keep what we have
 		}
-		recs[repKey{rec.Scheme, rec.Rho, rec.Rep}] = rec
+		recs[rec.Key()] = rec
 		return nil
 	})
 	var fpErr *journalpkg.ErrFingerprint
@@ -153,4 +174,30 @@ func loadJournal(path, fingerprint string) (recs map[repKey]repRecord, validLen 
 		return nil, 0, false, nil
 	}
 	return recs, validLen, true, nil
+}
+
+// openCheckpoint resolves the replay-or-create dance Run and the cluster
+// coordinator both perform: with Resume set, an existing journal is replayed
+// (records returned) and reopened for appending past its intact prefix;
+// otherwise a fresh journal is created.
+func openCheckpoint(path, fingerprint string, resume bool) (map[RepKey]RepRecord, *CheckpointWriter, error) {
+	records := make(map[RepKey]RepRecord)
+	if resume {
+		resumed, validLen, found, err := LoadCheckpoint(path, fingerprint)
+		if err != nil {
+			return nil, nil, err
+		}
+		if found {
+			w, err := OpenCheckpointAppend(path, validLen)
+			if err != nil {
+				return nil, nil, err
+			}
+			return resumed, w, nil
+		}
+	}
+	w, err := CreateCheckpoint(path, fingerprint)
+	if err != nil {
+		return nil, nil, err
+	}
+	return records, w, nil
 }

@@ -277,7 +277,7 @@ func TestExperimentRecordsPerPointErrors(t *testing.T) {
 	// Error records aggregate into FailedReps without killing the sweep.
 	shape := torus.MustNew(4, 4)
 	e2 := tinyExperiment()
-	recs := map[repKey]repRecord{
+	recs := map[RepKey]RepRecord{
 		{0, 0, 0}: {Scheme: 0, Rho: 0, Rep: 0, Err: "simulated failure"},
 	}
 	_ = shape
@@ -285,16 +285,16 @@ func TestExperimentRecordsPerPointErrors(t *testing.T) {
 	// failure by rebuilding points from records via a resumed journal.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "err.jsonl")
-	j, err := createJournal(path, e2.fingerprint())
+	j, err := CreateCheckpoint(path, e2.fingerprint())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, rec := range recs {
-		if err := j.append(rec); err != nil {
+		if err := j.Append(rec); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := j.close(); err != nil {
+	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
 	e2.Checkpoint = path

@@ -101,7 +101,7 @@ func TestTableMarkerSynthetic(t *testing.T) {
 func TestDivergedFeedsUnstable(t *testing.T) {
 	shape := torus.MustNew(4, 4)
 	res := &sim.Result{Status: sim.StatusDiverged}
-	rec := tinyExperiment().makeRecord(shape, repKey{0, 0, 0}, res)
+	rec := tinyExperiment().makeRecord(shape, RepKey{0, 0, 0}, res)
 	if rec.Stable {
 		t.Error("diverged result recorded as stable")
 	}

@@ -235,15 +235,12 @@ type Result struct {
 	ResumedReps int
 }
 
-// repKey identifies one replication of one cell.
-type repKey struct{ scheme, rho, rep int }
-
 // makeRecord flattens one simulation result into the journal/aggregation
 // record for (k, res).
-func (e *Experiment) makeRecord(shape *torus.Shape, k repKey, res *sim.Result) repRecord {
-	low := e.Schemes[k.scheme].Discipline.Classes() - 1
-	rec := repRecord{
-		Scheme: k.scheme, Rho: k.rho, Rep: k.rep,
+func (e *Experiment) makeRecord(shape *torus.Shape, k RepKey, res *sim.Result) RepRecord {
+	low := e.Schemes[k.Scheme].Discipline.Classes() - 1
+	rec := RepRecord{
+		Scheme: k.Scheme, Rho: k.Rho, Rep: k.Rep,
 		Reception:  jsonFloat(res.Reception.Mean()),
 		Broadcast:  jsonFloat(res.Broadcast.Mean()),
 		Unicast:    jsonFloat(res.Unicast.Mean()),
@@ -292,6 +289,219 @@ func recoverRunner(runner **sim.Runner) {
 	(*runner).Recover()
 }
 
+// repSeed derives the deterministic seed of one replication. The derivation
+// is load-bearing: checkpoints, the daemon's result cache, and the cluster's
+// scatter/gather all assume a (scheme, rho, rep) index names exactly one
+// stream of randomness, so it must never change.
+func (e *Experiment) repSeed(si, ri, rep int) uint64 {
+	return e.BaseSeed ^ (uint64(si)+1)<<40 ^ (uint64(ri)+1)<<20 ^ uint64(rep+1)
+}
+
+// cellConfig builds the simulation config template of one (scheme, rho)
+// cell — everything but the per-rep seed. Run and RunSubjob share it so a
+// replication is configured identically whether it executes locally or on a
+// remote worker.
+func (e *Experiment) cellConfig(shape *torus.Shape, si, ri int) (sim.Config, error) {
+	rates, err := traffic.RatesForRho(shape, e.Rhos[ri], e.BroadcastFrac, e.Length.Mean(), e.Model)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("sweep %q: %w", e.ID, err)
+	}
+	sch, err := e.Schemes[si].Build(shape, rates, e.Model)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("sweep %q, scheme %q: %w", e.ID, e.Schemes[si].Name, err)
+	}
+	return sim.Config{
+		Shape: shape, Scheme: sch, Rates: rates,
+		Length: e.Length,
+		Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
+		MaxBacklog: e.MaxBacklog,
+		Faults:     e.Faults,
+		Guard:      e.Guard,
+		Context:    e.Context,
+	}, nil
+}
+
+// Subjob is the distributable unit of a sweep: up to maxBatchReps
+// replications of one (scheme, rho) cell with their deterministic seeds.
+// The chunking matches what Run dispatches locally, so a sub-job executed
+// on a remote worker covers exactly the replications one local batch would
+// have, and a checkpoint written at a sub-job boundary resumes cleanly in
+// either mode.
+type Subjob struct {
+	Scheme int      `json:"s"`
+	Rho    int      `json:"r"`
+	Reps   []int    `json:"reps"`
+	Seeds  []uint64 `json:"seeds"`
+}
+
+// Key names the sub-job stably within its experiment: the cell indices plus
+// every replication index it covers. Combined with the experiment
+// fingerprint it is a content address — two sub-jobs with equal keys under
+// equal fingerprints simulate identical work, which is what lets workers
+// serve repeats from cache and the coordinator discard duplicate results.
+func (sj Subjob) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%dr%d@", sj.Scheme, sj.Rho)
+	for i, rep := range sj.Reps {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		fmt.Fprintf(&b, "%d", rep)
+	}
+	return b.String()
+}
+
+// Subjobs decomposes the experiment into its distributable sub-jobs in
+// deterministic (scheme, rho, rep) order. skip, when non-nil, drops
+// replications already covered elsewhere (typically a replayed checkpoint
+// journal); remaining reps are chunked at maxBatchReps exactly as Run
+// chunks its local batches.
+func (e *Experiment) Subjobs(skip func(RepKey) bool) ([]Subjob, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	var subjobs []Subjob
+	for si := range e.Schemes {
+		for ri := range e.Rhos {
+			var reps []int
+			var seeds []uint64
+			for rep := 0; rep < e.Reps; rep++ {
+				if skip != nil && skip(RepKey{si, ri, rep}) {
+					continue
+				}
+				reps = append(reps, rep)
+				seeds = append(seeds, e.repSeed(si, ri, rep))
+			}
+			for lo := 0; lo < len(reps); lo += maxBatchReps {
+				hi := lo + maxBatchReps
+				if hi > len(reps) {
+					hi = len(reps)
+				}
+				subjobs = append(subjobs, Subjob{
+					Scheme: si, Rho: ri,
+					Reps:  reps[lo:hi],
+					Seeds: seeds[lo:hi],
+				})
+			}
+		}
+	}
+	return subjobs, nil
+}
+
+// RunSubjob executes one sub-job locally and returns its replication
+// records in rep order. This is what a cluster worker runs on behalf of a
+// coordinator: the config template, seed handling, and batched execution
+// path are shared with Run, so the records are bit-identical to what the
+// same replications would produce in a single-node sweep. Per-rep failures
+// (panics, divergence-watchdog kills) come back as records with Err set —
+// only context cancellation is a sub-job-level error.
+func (e *Experiment) RunSubjob(sj Subjob) ([]RepRecord, error) {
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	if sj.Scheme < 0 || sj.Scheme >= len(e.Schemes) || sj.Rho < 0 || sj.Rho >= len(e.Rhos) {
+		return nil, fmt.Errorf("sweep %q: sub-job cell (%d,%d) outside the grid", e.ID, sj.Scheme, sj.Rho)
+	}
+	if len(sj.Reps) == 0 || len(sj.Reps) != len(sj.Seeds) {
+		return nil, fmt.Errorf("sweep %q: sub-job has %d reps but %d seeds", e.ID, len(sj.Reps), len(sj.Seeds))
+	}
+	for _, rep := range sj.Reps {
+		if rep < 0 || rep >= e.Reps {
+			return nil, fmt.Errorf("sweep %q: sub-job rep %d outside 0..%d", e.ID, rep, e.Reps-1)
+		}
+	}
+	shape, err := torus.New(e.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+	}
+	if err := e.Faults.Validate(shape); err != nil {
+		return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+	}
+	cfg, err := e.cellConfig(shape, sj.Scheme, sj.Rho)
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var br sim.BatchRunner
+	outs, err := br.Run(sim.Batch{Base: cfg, Seeds: sj.Seeds, Workers: workers})
+	if err != nil {
+		outs = make([]sim.RepResult, len(sj.Seeds))
+		for i := range outs {
+			outs[i] = sim.RepResult{Err: err}
+		}
+	}
+	recs := make([]RepRecord, len(sj.Reps))
+	for i, rep := range sj.Reps {
+		key := RepKey{sj.Scheme, sj.Rho, rep}
+		rr := outs[i]
+		switch {
+		case rr.Err != nil && (errors.Is(rr.Err, context.Canceled) || errors.Is(rr.Err, context.DeadlineExceeded)):
+			return nil, rr.Err
+		case rr.Err != nil:
+			recs[i] = RepRecord{Scheme: key.Scheme, Rho: key.Rho, Rep: key.Rep, Err: rr.Err.Error()}
+		default:
+			recs[i] = e.makeRecord(shape, key, rr.Result)
+		}
+	}
+	return recs, nil
+}
+
+// Assemble folds replication records into a Result, visiting (scheme, rho,
+// rep) in strict index order — never completion or arrival order. That
+// ordering is the byte-identity invariant: a Result assembled from any mix
+// of journal replay, local batches, and remote sub-job gathers encodes to
+// exactly the bytes of an uninterrupted single-node run. Missing records
+// are simply absent from the aggregates (their Point carries fewer reps).
+func (e *Experiment) Assemble(records map[RepKey]RepRecord, resumed int, elapsed time.Duration) *Result {
+	res := &Result{Exp: e, Elapsed: elapsed, ResumedReps: resumed}
+	for si, spec := range e.Schemes {
+		series := Series{Scheme: spec, Points: make([]Point, len(e.Rhos))}
+		for ri := range e.Rhos {
+			p := &series.Points[ri]
+			p.Rho = e.Rhos[ri]
+			for rep := 0; rep < e.Reps; rep++ {
+				rec, ok := records[RepKey{si, ri, rep}]
+				if !ok {
+					continue
+				}
+				if rec.Err != "" {
+					p.FailedReps++
+					if p.Error == "" {
+						p.Error = rec.Err
+					}
+					continue
+				}
+				p.Reception.AddRep(float64(rec.Reception))
+				p.Broadcast.AddRep(float64(rec.Broadcast))
+				p.Unicast.AddRep(float64(rec.Unicast))
+				p.HighWait.AddRep(float64(rec.HighWait))
+				p.LowWait.AddRep(float64(rec.LowWait))
+				p.AvgUtil.AddRep(float64(rec.AvgUtil))
+				p.MaxDimUtil.AddRep(float64(rec.MaxDimUtil))
+				if p.DimUtil == nil {
+					p.DimUtil = make([]stats.Summary, len(rec.DimUtil))
+				}
+				for i, u := range rec.DimUtil {
+					p.DimUtil[i].AddRep(float64(u))
+				}
+				p.GeneratedBroadcasts += rec.GeneratedBroadcasts
+				p.IncompleteBroadcasts += rec.IncompleteBroadcasts
+				if !rec.Stable {
+					p.UnstableReps++
+				}
+				if rec.Status == sim.StatusDiverged.String() {
+					p.DivergedReps++
+				}
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
 // Run executes every (scheme, rho, rep) simulation, fanning out across a
 // bounded worker pool, and aggregates per-cell summaries. Seeds are derived
 // deterministically from BaseSeed and the aggregation visits replications
@@ -313,30 +523,14 @@ func (e *Experiment) Run() (*Result, error) {
 	}
 
 	// Checkpoint replay and journal setup.
-	records := make(map[repKey]repRecord)
-	var jnl *journal
+	records := make(map[RepKey]RepRecord)
+	var jnl *CheckpointWriter
 	if e.Checkpoint != "" {
-		fp := e.fingerprint()
-		if e.Resume {
-			resumed, validLen, found, err := loadJournal(e.Checkpoint, fp)
-			if err != nil {
-				return nil, err
-			}
-			if found {
-				records = resumed
-				jnl, err = openJournalAppend(e.Checkpoint, validLen)
-			} else {
-				jnl, err = createJournal(e.Checkpoint, fp)
-			}
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			if jnl, err = createJournal(e.Checkpoint, fp); err != nil {
-				return nil, err
-			}
+		records, jnl, err = openCheckpoint(e.Checkpoint, e.fingerprint(), e.Resume)
+		if err != nil {
+			return nil, err
 		}
-		defer jnl.close()
+		defer jnl.Close()
 	}
 	resumed := len(records)
 
@@ -352,32 +546,19 @@ func (e *Experiment) Run() (*Result, error) {
 	}
 	var jobs []job
 	totalReps := 0
-	for si, spec := range e.Schemes {
-		for ri, rho := range e.Rhos {
-			rates, err := traffic.RatesForRho(shape, rho, e.BroadcastFrac, e.Length.Mean(), e.Model)
+	for si := range e.Schemes {
+		for ri := range e.Rhos {
+			cfg, err := e.cellConfig(shape, si, ri)
 			if err != nil {
-				return nil, fmt.Errorf("sweep %q: %w", e.ID, err)
+				return nil, err
 			}
-			sch, err := spec.Build(shape, rates, e.Model)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %q, scheme %q: %w", e.ID, spec.Name, err)
-			}
-			cell := job{si: si, ri: ri, cfg: sim.Config{
-				Shape: shape, Scheme: sch, Rates: rates,
-				Length: e.Length,
-				Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain,
-				MaxBacklog: e.MaxBacklog,
-				Faults:     e.Faults,
-				Guard:      e.Guard,
-				Context:    e.Context,
-			}}
+			cell := job{si: si, ri: ri, cfg: cfg}
 			for rep := 0; rep < e.Reps; rep++ {
-				if _, ok := records[repKey{si, ri, rep}]; ok {
+				if _, ok := records[RepKey{si, ri, rep}]; ok {
 					continue // already journaled by a previous run
 				}
-				seed := e.BaseSeed ^ (uint64(si)+1)<<40 ^ (uint64(ri)+1)<<20 ^ uint64(rep+1)
 				cell.reps = append(cell.reps, rep)
-				cell.seeds = append(cell.seeds, seed)
+				cell.seeds = append(cell.seeds, e.repSeed(si, ri, rep))
 			}
 			if len(cell.reps) == 0 {
 				continue // cell fully covered by the checkpoint journal
@@ -494,7 +675,7 @@ func (e *Experiment) Run() (*Result, error) {
 			if e.Progress != nil {
 				e.Progress(done, totalReps)
 			}
-			key := repKey{out.si, out.ri, rep}
+			key := RepKey{out.si, out.ri, rep}
 			rr := out.outs[i]
 			if rr.Err != nil {
 				if errors.Is(rr.Err, context.Canceled) || errors.Is(rr.Err, context.DeadlineExceeded) {
@@ -505,15 +686,15 @@ func (e *Experiment) Run() (*Result, error) {
 					}
 					continue
 				}
-				records[key] = repRecord{
-					Scheme: key.scheme, Rho: key.rho, Rep: key.rep,
+				records[key] = RepRecord{
+					Scheme: key.Scheme, Rho: key.Rho, Rep: key.Rep,
 					Err: rr.Err.Error(),
 				}
 			} else {
 				records[key] = e.makeRecord(shape, key, rr.Result)
 			}
 			if jnl != nil {
-				if err := jnl.append(records[key]); err != nil {
+				if err := jnl.Append(records[key]); err != nil {
 					return nil, fmt.Errorf("sweep: writing checkpoint: %w", err)
 				}
 			}
@@ -526,50 +707,7 @@ func (e *Experiment) Run() (*Result, error) {
 	// Deterministic aggregation: visit (scheme, rho, rep) in index order so
 	// the float summaries are independent of worker scheduling and of how
 	// the records were split between journal replay and fresh simulation.
-	res := &Result{Exp: e, Elapsed: time.Since(start), ResumedReps: resumed}
-	for si, spec := range e.Schemes {
-		series := Series{Scheme: spec, Points: make([]Point, len(e.Rhos))}
-		for ri := range e.Rhos {
-			p := &series.Points[ri]
-			p.Rho = e.Rhos[ri]
-			for rep := 0; rep < e.Reps; rep++ {
-				rec, ok := records[repKey{si, ri, rep}]
-				if !ok {
-					continue
-				}
-				if rec.Err != "" {
-					p.FailedReps++
-					if p.Error == "" {
-						p.Error = rec.Err
-					}
-					continue
-				}
-				p.Reception.AddRep(float64(rec.Reception))
-				p.Broadcast.AddRep(float64(rec.Broadcast))
-				p.Unicast.AddRep(float64(rec.Unicast))
-				p.HighWait.AddRep(float64(rec.HighWait))
-				p.LowWait.AddRep(float64(rec.LowWait))
-				p.AvgUtil.AddRep(float64(rec.AvgUtil))
-				p.MaxDimUtil.AddRep(float64(rec.MaxDimUtil))
-				if p.DimUtil == nil {
-					p.DimUtil = make([]stats.Summary, len(rec.DimUtil))
-				}
-				for i, u := range rec.DimUtil {
-					p.DimUtil[i].AddRep(float64(u))
-				}
-				p.GeneratedBroadcasts += rec.GeneratedBroadcasts
-				p.IncompleteBroadcasts += rec.IncompleteBroadcasts
-				if !rec.Stable {
-					p.UnstableReps++
-				}
-				if rec.Status == sim.StatusDiverged.String() {
-					p.DivergedReps++
-				}
-			}
-		}
-		res.Series = append(res.Series, series)
-	}
-	return res, nil
+	return e.Assemble(records, resumed, time.Since(start)), nil
 }
 
 // Metric selects which aggregate a table or CSV reports.
