@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help check build vet test race chaos chaos-cluster lint smoke-faults smoke-serve load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos chaos-cluster lint smoke-faults smoke-serve smoke-approx load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
 
 all: build vet test race
 
@@ -14,7 +14,7 @@ all: build vet test race
 # BENCH_sim.json; LOAD_GATE=1 does the same for service latency/throughput
 # against BENCH_serve.json (both off by default so the gate never flakes a
 # loaded box).
-check: vet build test smoke-faults smoke-serve chaos chaos-cluster load-smoke
+check: vet build test smoke-faults smoke-serve smoke-approx chaos chaos-cluster load-smoke
 ifneq ($(BENCH_GATE),)
 check: bench-gate
 endif
@@ -37,6 +37,8 @@ help:
 	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
 	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
 	@echo "  smoke-serve   starsimd daemon round trip: submit, cache hit, drain"
+	@echo "  smoke-approx  surrogate round trip: exact anchor sweep, then an"
+	@echo "                approx submit answered without simulating"
 	@echo "  load          psload: 200-client mixed workload against an"
 	@echo "                in-process daemon -> append to BENCH_serve.json"
 	@echo "  load-smoke    5s, 200-client load acceptance run under -race:"
@@ -63,7 +65,7 @@ help:
 # lazy per-shape link tables, pooled runners, fault timelines, the daemon's
 # worker pool, cache, and journals).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen ./internal/cluster
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen ./internal/cluster ./internal/surrogate ./internal/forecast
 
 # The chaos harness under the race detector: lenient journal loading, WAL
 # replay and quarantine, client retry/backoff, and the subprocess suite
@@ -134,6 +136,31 @@ smoke-serve:
 		|| { echo "smoke-serve: daemon did not drain cleanly"; exit 1; }; \
 	rm -rf $$tmp; echo "smoke-serve: ok"
 
+# Smoke test of the surrogate fast path over a real socket: anchor a family
+# with an exact two-rho sweep, then submit an approx query between the
+# anchors and require a surrogate answer — terminal immediately, marked
+# approx, with the anchor interval recorded in the result document.
+smoke-approx:
+	@tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/ ./cmd/starsimd ./cmd/psctl || exit 1; \
+	$$tmp/starsimd -addr 127.0.0.1:0 -addr-file $$tmp/addr \
+		-cache $$tmp/cache.jsonl 2>$$tmp/daemon.log & \
+	pid=$$!; \
+	i=0; while [ ! -s $$tmp/addr ] && [ $$i -lt 100 ]; do sleep 0.1; i=$$((i+1)); done; \
+	[ -s $$tmp/addr ] || { cat $$tmp/daemon.log; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat $$tmp/addr); \
+	$$tmp/psctl -addr $$addr submit -shape 4x4 -sweep 0.2,0.4 -reps 1 \
+		-warmup 100 -measure 400 -drain 100 -watch >/dev/null 2>&1 \
+		|| { cat $$tmp/daemon.log; kill $$pid 2>/dev/null; exit 1; }; \
+	$$tmp/psctl -addr $$addr submit -shape 4x4 -rho 0.3 -reps 1 \
+		-warmup 100 -measure 400 -drain 100 -approx -approx-tol 2 2>/dev/null \
+		| grep -q '"approx": true' \
+		|| { echo "smoke-approx: approx submit was not surrogate-answered"; \
+		     cat $$tmp/daemon.log; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -TERM $$pid; wait $$pid \
+		|| { echo "smoke-approx: daemon did not drain cleanly"; exit 1; }; \
+	rm -rf $$tmp; echo "smoke-approx: ok"
+
 # Coverage-guided fuzzing of the queue's power-of-two ring arithmetic and the
 # binary trace decoder; the seeded corpora also run on every plain `go test`
 # (tier-1).
@@ -143,6 +170,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTraceReader -fuzztime $(FUZZTIME) ./internal/obs
 	$(GO) test -fuzz FuzzSketchDecode -fuzztime $(FUZZTIME) ./internal/loadgen
 	$(GO) test -fuzz FuzzTrajectoryReader -fuzztime $(FUZZTIME) ./internal/loadgen
+	$(GO) test -fuzz FuzzSurrogateTable -fuzztime $(FUZZTIME) ./internal/surrogate
 
 build:
 	$(GO) build ./...

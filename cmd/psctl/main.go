@@ -1,6 +1,7 @@
 // Command psctl is the command-line client for a starsimd daemon.
 //
 //	psctl submit -shape 8x8 -scheme priority-star -sweep 0.5,0.7 -watch
+//	psctl submit -shape 8x8 -rho 0.3 -approx        # surrogate fast path
 //	psctl submit -spec experiment.json
 //	psctl ls
 //	psctl get j000001
@@ -147,6 +148,8 @@ func cmdSubmit(ctx context.Context, c *serve.Client, args []string) error {
 	w.Register(fs)
 	specFile := fs.String("spec", "", "submit this JSON experiment spec file instead of the workload flags")
 	id := fs.String("id", "psctl", "spec id label (workload flags only)")
+	approx := fs.Bool("approx", false, "accept an approximate answer from the daemon's analytic surrogate (workload flags only; spec files set \"mode\": \"approx\" themselves)")
+	approxTol := fs.Float64("approx-tol", 0, "relative error tolerance for -approx answers (0: daemon default)")
 	follow := fs.Bool("watch", false, "follow the job to completion")
 	out := fs.String("out", "", "with -watch: write the result document here when the job succeeds")
 	if err := fs.Parse(args); err != nil {
@@ -171,6 +174,8 @@ func cmdSubmit(ctx context.Context, c *serve.Client, args []string) error {
 		if berr != nil {
 			return berr
 		}
+		exp.Approx = *approx
+		exp.ApproxTol = *approxTol
 		st, err = c.Submit(ctx, spec.FromSweep(exp))
 	}
 	if err != nil {
@@ -183,6 +188,8 @@ func cmdSubmit(ctx context.Context, c *serve.Client, args []string) error {
 	switch {
 	case st.Cached:
 		how = "served from cache"
+	case st.Approx:
+		how = "answered by the analytic surrogate (result carries error bounds)"
 	case st.Deduped:
 		how = "joined identical in-flight job"
 	}

@@ -243,8 +243,8 @@ func printRecord(r *loadgen.Record) {
 		fmt.Printf("%-16s %8d %6d %10s %10s %10s %10s\n", k, op.Count, op.Errors,
 			us(op.P50us), us(op.P95us), us(op.P99us), us(op.MaxUs))
 	}
-	fmt.Printf("throughput %.1f ops/s | errors %.2f%% | 429s %d | deduped %d | cache hits %d | retries %d | reconnects %d\n",
-		r.ThroughputOps, r.ErrorRate*100, r.Rejected429, r.Deduped, r.CacheHits, r.Retries, r.Reconnects)
+	fmt.Printf("throughput %.1f ops/s | errors %.2f%% | 429s %d | deduped %d | cache hits %d | approx hits %d | retries %d | reconnects %d\n",
+		r.ThroughputOps, r.ErrorRate*100, r.Rejected429, r.Deduped, r.CacheHits, r.ApproxHits, r.Retries, r.Reconnects)
 }
 
 // us renders a microsecond latency human-readably.

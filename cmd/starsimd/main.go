@@ -5,6 +5,12 @@
 //
 //	starsimd -addr 127.0.0.1:7077 -workers 4 -cache results.jsonl -wal jobs.wal
 //
+// Submissions with "mode": "approx" may be answered by the analytic
+// surrogate — the closed-form model plus interpolation over the cached
+// exact results — with explicit error bounds and zero simulation runs;
+// -no-approx turns the fast path off and -forecast-admission turns on
+// predictive shedding driven by the queue-depth forecast.
+//
 // SIGINT/SIGTERM drain the daemon: intake stops, accepted jobs finish and
 // land in the cache, then the process exits. A second signal aborts
 // in-flight jobs. With -wal, even a SIGKILL is survivable: the restarted
@@ -52,6 +58,10 @@ func main() {
 		jobTO    = flag.Duration("job-timeout", 0, "wall-clock guard for jobs that do not set their own (e.g. 5m)")
 		drainTO  = flag.Duration("drain-timeout", 0, "cap on graceful drain at shutdown; 0 waits for every accepted job")
 		quiet    = flag.Bool("quiet", false, "suppress per-job logging (load harnesses submit thousands of jobs)")
+
+		noApprox  = flag.Bool("no-approx", false, "ignore approx mode: every submission runs the real simulation")
+		approxTol = flag.Float64("approx-tol", 0, "default relative error tolerance for surrogate answers (0: built-in 5%)")
+		forecast  = flag.Bool("forecast-admission", false, "shed work the queue-depth forecast says will overflow, before the queue is full")
 
 		coordMode = flag.Bool("coordinator", false, "scatter accepted jobs across registered fleet workers")
 		fleetWAL  = flag.String("fleet-wal", "", "persist the coordinator's sub-job lease journal here (re-adopted on restart)")
@@ -106,8 +116,13 @@ func main() {
 		RetryBudget:  retryBudget,
 		RetryBackoff: *backoff,
 		JobTimeout:   *jobTO,
-		Metrics:      metrics,
-		Logf:         logf,
+		NoApprox:     *noApprox,
+		ApproxTol:    *approxTol,
+
+		ForecastAdmission: *forecast,
+
+		Metrics: metrics,
+		Logf:    logf,
 	}
 	if coord != nil {
 		cfg.RunJob = coord.RunJob

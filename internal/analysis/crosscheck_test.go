@@ -1,0 +1,139 @@
+package analysis
+
+// Differential crosscheck of the closed-form Section 2/3.2 curves against
+// the event-driven engine — the foundation the serving layer's surrogate
+// (internal/surrogate) interpolates from. Table-driven over torus shapes
+// and loads: the measured delays must respect the oblivious lower bounds
+// (up to replication noise) while staying within a constant-factor corridor
+// of them, so the analytic base curves are neither violated nor wildly
+// loose anywhere in the surrogate's operating range.
+
+import (
+	"fmt"
+	"testing"
+
+	"prioritystar/internal/balance"
+	"prioritystar/internal/spec"
+	"prioritystar/internal/torus"
+	"prioritystar/internal/traffic"
+)
+
+// xcheckSpec is a broadcast-only priority-STAR sweep on one shape/rho cell,
+// sized for test time: 2 replications are enough for a corridor check.
+func xcheckSpec(dims string, rho float64) []byte {
+	return []byte(fmt.Sprintf(`{
+		"id": "t-xcheck", "dims": [%s], "rhos": [%g],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 300, "measure": 2000, "drain": 300,
+		"reps": 2, "seed": 31
+	}`, dims, rho))
+}
+
+func TestLowerBoundsCrosscheckEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation crosscheck")
+	}
+	cases := []struct {
+		dims  string
+		shape *torus.Shape
+	}{
+		{"4, 4", torus.MustNew(4, 4)},
+		{"8, 8", torus.MustNew(8, 8)},
+		{"2, 4", torus.MustNew(2, 4)}, // a 2-ring dimension: degree 3, not 2d
+	}
+	rhos := []float64{0.2, 0.5, 0.8}
+	for _, tc := range cases {
+		for _, rho := range rhos {
+			t.Run(fmt.Sprintf("%s@%g", tc.shape, rho), func(t *testing.T) {
+				exp, err := spec.Decode(xcheckSpec(tc.dims, rho))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := exp.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := res.Series[0].Points[0]
+				if p.FailedReps > 0 || p.DivergedReps > 0 {
+					t.Fatalf("cell did not complete cleanly: %d failed, %d diverged",
+						p.FailedReps, p.DivergedReps)
+				}
+
+				// The oblivious bounds: no scheme may beat them, and
+				// priority-STAR should stay within a constant factor — the
+				// corridor the surrogate's fallback logic relies on. The
+				// random-intermediate-node routing roughly doubles path
+				// lengths and the bounds ignore tree contention, hence the
+				// wide but load-independent factor.
+				const corridor = 4.0
+				checks := []struct {
+					name  string
+					mean  float64
+					slack float64 // one-sided statistical slack below the bound
+					bound float64
+				}{
+					{"reception", p.Reception.Mean(), p.Reception.HalfWidth95(), ReceptionLowerBound(tc.shape, rho)},
+					{"broadcast", p.Broadcast.Mean(), p.Broadcast.HalfWidth95(), BroadcastLowerBound(tc.shape, rho)},
+				}
+				for _, c := range checks {
+					if c.mean+c.slack < c.bound {
+						t.Errorf("%s: measured %.3f (±%.3f) beats the oblivious lower bound %.3f",
+							c.name, c.mean, c.slack, c.bound)
+					}
+					if c.mean > c.bound*corridor {
+						t.Errorf("%s: measured %.3f is over %gx the lower bound %.3f — the analytic curve is uselessly loose here",
+							c.name, c.mean, corridor, c.bound)
+					}
+				}
+
+				// Section 3.2: the high-priority wait is a G/D/1 queue loaded
+				// at rho/n, so it must stay o(1) — far below the low-priority
+				// wait the M/D/1 term models — at every load in the table.
+				minDim := tc.shape.Dim(0)
+				for i := 1; i < tc.shape.Dims(); i++ {
+					if d := tc.shape.Dim(i); d < minDim {
+						minDim = d
+					}
+				}
+				hiBound := HighPriorityWaitBound(rho, minDim)
+				if hi := p.HighWait.Mean(); hi > hiBound*corridor+0.25 {
+					t.Errorf("highWait: measured %.3f vs Section 3.2 bound %.3f", hi, hiBound)
+				}
+			})
+		}
+	}
+}
+
+// TestPaperTorusRhoMatchesTrafficRho pins the degree caveat documented on
+// PaperTorusRho: with the paper's floor(n/4) distance model the closed form
+// agrees exactly with traffic.Rates.Rho on shapes whose dimensions all have
+// two links per node, and overstates the load by Degree/(2d) on shapes with
+// a 2-ring dimension (where a node has one link in that dimension, not two).
+func TestPaperTorusRhoMatchesTrafficRho(t *testing.T) {
+	shapes := []*torus.Shape{
+		torus.MustNew(4, 4),
+		torus.MustNew(8, 8),
+		torus.MustNew(3, 5),
+		torus.MustNew(4, 4, 8),
+		torus.MustNew(2, 4), // the caveat case
+		torus.MustNew(2, 2, 6),
+	}
+	for _, s := range shapes {
+		for _, rho := range []float64{0.2, 0.5, 0.8} {
+			rates, err := traffic.RatesForRho(s, rho, 0.5, 1, balance.PaperFloorDistance)
+			if err != nil {
+				t.Fatal(err)
+			}
+			paper := PaperTorusRho(s, rates.LambdaB, rates.LambdaR)
+			ratio := float64(s.Degree()) / float64(2*s.Dims())
+			want := rho * ratio
+			if !almost(paper, want, 1e-9) {
+				t.Errorf("%s rho=%g: PaperTorusRho = %g, want rho*Degree/(2d) = %g", s, rho, paper, want)
+			}
+			if s.Degree() == 2*s.Dims() && !almost(paper, rho, 1e-9) {
+				t.Errorf("%s: all dims >= 3 but PaperTorusRho %g != traffic rho %g", s, paper, rho)
+			}
+		}
+	}
+}

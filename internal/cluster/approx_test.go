@@ -1,0 +1,97 @@
+package cluster
+
+// Approx-mode submissions must never reach the fleet: a surrogate-answered
+// job consumes no coordinator lease, no worker slot, and no scatter/fold
+// round-trip. The test wires a real coordinator + worker behind a serve
+// daemon's RunJob hook and counts how often the hook fires.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prioritystar/internal/obs"
+	"prioritystar/internal/serve"
+	"prioritystar/internal/sweep"
+)
+
+// approxFamilySpec is a one-scheme sweep in a fixed interpolation family;
+// only the rho grid and the serving mode vary between calls.
+func approxFamilySpec(rhos, extra string) []byte {
+	return []byte(fmt.Sprintf(`{
+		"id": "t-fleet-approx", %s "dims": [4, 4], "rhos": [%s],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 50, "measure": 400, "drain": 100,
+		"reps": 2, "seed": 23
+	}`, extra, rhos))
+}
+
+func TestApproxBypassesCoordinator(t *testing.T) {
+	coord, srv := startCoordinator(t, CoordinatorConfig{
+		Heartbeat: 50 * time.Millisecond, LeaseTTL: 30 * time.Second,
+	})
+	joinWorker(t, srv.URL, startWorker(t, 1, nil), "w0")
+	waitAlive(t, srv.URL, 1)
+
+	var scattered atomic.Int64
+	metrics := &obs.MetricSet{}
+	s, err := serve.New(serve.Config{
+		Addr: "127.0.0.1:0", Workers: 2, QueueCap: 8,
+		Metrics: metrics, Logf: t.Logf,
+		RunJob: func(exp *sweep.Experiment) (*sweep.Result, error) {
+			scattered.Add(1)
+			return coord.RunJob(exp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+
+	ctx := context.Background()
+	cl := serve.NewClient(bound)
+
+	// The anchor sweep is exact work: it must scatter across the fleet.
+	st, err := cl.SubmitJSON(ctx, approxFamilySpec("0.2, 0.4", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Watch(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("anchor job ended %q: %s", final.State, final.Error)
+	}
+	if got := scattered.Load(); got != 1 {
+		t.Fatalf("anchor sweep scattered %d times, want 1", got)
+	}
+
+	// The approx query inside the anchored neighborhood is answered at
+	// admission: terminal immediately, no lease, no scatter.
+	st2, err := cl.SubmitJSON(ctx, approxFamilySpec("0.3", `"mode": "approx", "approxTol": 2,`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != serve.StateDone || !st2.Approx {
+		t.Fatalf("approx submission not surrogate-answered: %+v", st2)
+	}
+	if got := scattered.Load(); got != 1 {
+		t.Errorf("approx submission reached the coordinator: RunJob fired %d times, want 1", got)
+	}
+	if got := metrics.Counter("surrogate_hits"); got != 1 {
+		t.Errorf("surrogate_hits = %d, want 1", got)
+	}
+	if got := metrics.Counter("fleet_leases_granted"); got != 0 {
+		// The coordinator shares no MetricSet with the daemon here, so this
+		// guards against the hook being bypassed in the other direction.
+		t.Errorf("daemon metric set grew fleet counters: leases %d", got)
+	}
+}

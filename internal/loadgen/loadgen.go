@@ -30,6 +30,7 @@ const (
 	KeyWatch          = "watch"           // time to first SSE event on a fresh job
 	KeyResult         = "result"          // result-document fetch
 	KeyMetrics        = "metrics"         // /metrics scrape
+	KeyApprox         = "approx"          // surrogate-answered approx-mode submissions
 )
 
 // Config shapes one load run.
@@ -70,6 +71,7 @@ type recorder struct {
 	errs     map[string]int64
 	cached   int64 // responses flagged Cached
 	deduped  int64 // responses flagged Deduped
+	approx   int64 // responses flagged Approx (surrogate-answered)
 	rejected int64 // terminal 429s (overload bursts doing their job)
 	watchBad int64 // watches that ended in a non-done terminal state
 }
@@ -99,6 +101,7 @@ func (r *recorder) merge(o *recorder) {
 	}
 	r.cached += o.cached
 	r.deduped += o.deduped
+	r.approx += o.approx
 	r.rejected += o.rejected
 	r.watchBad += o.watchBad
 }
@@ -160,6 +163,24 @@ func burstSpec(seed uint64) []byte {
 		"warmup": 50, "measure": 3000, "drain": 100,
 		"reps": 2, "seed": %d
 	}`, seed))
+}
+
+// approxRhos are the query loads approx ops draw from: strictly inside the
+// anchor interval seeded during setup, so a well-behaved daemon answers
+// every one from the surrogate.
+var approxRhos = []string{"0.25", "0.3", "0.35"}
+
+// approxSpec renders a spec in the pre-anchored approx family. Everything
+// except the rho grid and the serving mode matches approxAnchorSpec — the
+// family key includes the seed, so it is fixed per run, not per draw.
+func (f *fleet) approxSpec(rhos, mode string) []byte {
+	return []byte(fmt.Sprintf(`{
+		"id": "load-approx", %s "dims": [4, 4], "rhos": [%s],
+		"broadcastFrac": 1,
+		"schemes": [{"name": "priority-star"}],
+		"warmup": 50, "measure": 400, "drain": 100,
+		"reps": 2, "seed": %d
+	}`, mode, rhos, f.cfg.Seed<<8|0x77))
 }
 
 // nextUnique returns a seed no other op class or earlier draw has used.
@@ -294,6 +315,23 @@ func (f *fleet) setup(ctx context.Context) error {
 		f.hitIDs = append(f.hitIDs, st.ID)
 	}
 	f.logf("loadgen: hit pool warmed (%d cached specs)", poolSize)
+	if f.cfg.Mix.Has(OpApprox) {
+		// Anchor the approx family with one exact sweep bracketing every
+		// query rho, so approx ops hit the surrogate instead of falling
+		// back to simulation.
+		st, err := f.client.SubmitJSON(setupCtx, f.approxSpec("0.2, 0.4", ""))
+		if err != nil {
+			return fmt.Errorf("loadgen: seeding approx anchors: %w", err)
+		}
+		final, err := f.client.Watch(setupCtx, st.ID, nil)
+		if err != nil {
+			return fmt.Errorf("loadgen: waiting for approx-anchor job %s: %w", st.ID, err)
+		}
+		if final.State != serve.StateDone {
+			return fmt.Errorf("loadgen: approx-anchor job %s ended %q: %s", st.ID, final.State, final.Error)
+		}
+		f.logf("loadgen: approx family anchored (rhos 0.2, 0.4)")
+	}
 	return nil
 }
 
@@ -342,6 +380,14 @@ func (f *fleet) runOp(ctx context.Context, deadline time.Time, op Op, rng *rand.
 		start := time.Now()
 		_, err := f.client.MetricsSnapshot(ctx)
 		f.finish(ctx, rec, KeyMetrics, start, err)
+	case OpApprox:
+		sj := f.approxSpec(approxRhos[rng.Intn(len(approxRhos))], `"mode": "approx", "approxTol": 2,`)
+		start := time.Now()
+		st, err := f.client.SubmitJSON(ctx, sj)
+		f.finish(ctx, rec, KeyApprox, start, err)
+		if err == nil && st.Approx {
+			rec.approx++
+		}
 	}
 }
 
@@ -486,6 +532,7 @@ func (f *fleet) buildRecord(rec *recorder, elapsed time.Duration) Record {
 		Rejected429: rec.rejected,
 		Deduped:     rec.deduped,
 		CacheHits:   rec.cached,
+		ApproxHits:  rec.approx,
 		Retries:     clientSnap.Counters["client_retries"],
 		Reconnects:  clientSnap.Counters["client_reconnects"],
 	}
@@ -549,6 +596,9 @@ func (f *fleet) assert(rec *recorder, delta map[string]int64) []string {
 	if mix.Has(OpOverloadBurst) && rec.rejected == 0 {
 		fail = append(fail, "scenario: burst weight > 0 but the daemon never pushed back with 429")
 	}
+	if mix.Has(OpApprox) && rec.approx == 0 {
+		fail = append(fail, "scenario: approx weight > 0 but no submissions were surrogate-answered")
+	}
 	needQuantiles := []string{}
 	if mix.Has(OpSubmitHit) || mix.Has(OpSubmitMiss) || mix.Has(OpSubmitDedup) {
 		needQuantiles = append(needQuantiles, KeySubmit)
@@ -577,9 +627,13 @@ func (f *fleet) assert(rec *recorder, delta map[string]int64) []string {
 	if got, want := delta["submits_rejected_429"], rec.rejected; got < want {
 		fail = append(fail, fmt.Sprintf("cross-check: daemon counted %d 429s, clients saw %d terminal rejections", got, want))
 	}
+	if got, want := delta["surrogate_hits"], rec.approx; got != want {
+		fail = append(fail, fmt.Sprintf("cross-check: daemon surrogate_hits moved %d, clients observed %d", got, want))
+	}
 	// Admission conservation: every submission the daemon counted was
-	// queued, answered from cache, coalesced, or rejected — no silent drops.
-	accounted := delta["jobs_queued"] + delta["cache_hits"] + delta["jobs_deduped"] +
+	// queued, answered from cache or surrogate, coalesced, or rejected — no
+	// silent drops.
+	accounted := delta["jobs_queued"] + delta["cache_hits"] + delta["jobs_deduped"] + delta["surrogate_hits"] +
 		delta["submits_rejected_429"] + delta["submits_rejected_badspec"] + delta["submits_rejected_draining"]
 	if got := delta["submits_total"]; got != accounted {
 		fail = append(fail, fmt.Sprintf("cross-check: daemon took %d submissions but accounted for %d", got, accounted))

@@ -37,13 +37,18 @@ const (
 	OpResult
 	// OpMetrics scrapes /metrics.
 	OpMetrics
+	// OpApprox submits an approx-mode spec inside a pre-anchored family:
+	// the surrogate fast path, answered without simulation. Appended at the
+	// end of the enum so the positional weight arrays of recorded
+	// trajectories keep their meaning.
+	OpApprox
 
 	numOps
 )
 
 // opNames are the mix-string and report keys, in Op order.
 var opNames = [numOps]string{
-	"hit", "miss", "dedup", "burst", "watch", "result", "metrics",
+	"hit", "miss", "dedup", "burst", "watch", "result", "metrics", "approx",
 }
 
 // String returns the op's mix-string key.
@@ -65,12 +70,13 @@ type Mix struct {
 // service path — cache hit, fresh miss, dedup storm, overload burst, SSE
 // watch, result fetch, metrics scrape — exercised in one run.
 var namedMixes = []Mix{
-	{Name: "mixed", Weights: [numOps]int{5, 2, 2, 1, 2, 2, 1}},
-	{Name: "cache-hit", Weights: [numOps]int{10, 0, 0, 0, 0, 2, 1}},
-	{Name: "cache-miss", Weights: [numOps]int{0, 8, 0, 0, 2, 0, 1}},
-	{Name: "dedup-storm", Weights: [numOps]int{1, 0, 8, 0, 1, 0, 1}},
-	{Name: "overload", Weights: [numOps]int{2, 0, 0, 6, 0, 0, 1}},
-	{Name: "watch-heavy", Weights: [numOps]int{2, 0, 0, 0, 6, 1, 1}},
+	{Name: "mixed", Weights: [numOps]int{5, 2, 2, 1, 2, 2, 1, 2}},
+	{Name: "cache-hit", Weights: [numOps]int{10, 0, 0, 0, 0, 2, 1, 0}},
+	{Name: "cache-miss", Weights: [numOps]int{0, 8, 0, 0, 2, 0, 1, 0}},
+	{Name: "dedup-storm", Weights: [numOps]int{1, 0, 8, 0, 1, 0, 1, 0}},
+	{Name: "overload", Weights: [numOps]int{2, 0, 0, 6, 0, 0, 1, 0}},
+	{Name: "watch-heavy", Weights: [numOps]int{2, 0, 0, 0, 6, 1, 1, 0}},
+	{Name: "approx-heavy", Weights: [numOps]int{2, 0, 0, 0, 1, 1, 1, 8}},
 }
 
 // MixNames returns the built-in mix names for help texts.

@@ -79,6 +79,7 @@ type Record struct {
 	Rejected429   int64   `json:"rejected_429"`
 	Deduped       int64   `json:"deduped"`
 	CacheHits     int64   `json:"cache_hits"`
+	ApproxHits    int64   `json:"approx_hits,omitempty"`
 	Retries       int64   `json:"client_retries"`
 	Reconnects    int64   `json:"client_reconnects"`
 }

@@ -24,7 +24,9 @@ import (
 	"sync"
 	"time"
 
+	"prioritystar/internal/forecast"
 	"prioritystar/internal/spec"
+	"prioritystar/internal/surrogate"
 	"prioritystar/internal/sweep"
 )
 
@@ -54,9 +56,12 @@ type JobStatus struct {
 	State       string `json:"state"`
 	Fingerprint string `json:"fingerprint"`
 	// Cached marks a submission answered from the result cache without
-	// running anything; Deduped marks one coalesced onto an in-flight job.
+	// running anything; Deduped marks one coalesced onto an in-flight job;
+	// Approx marks one answered by the analytic surrogate (also without
+	// running anything — the result document carries explicit error bounds).
 	Cached  bool `json:"cached,omitempty"`
 	Deduped bool `json:"deduped,omitempty"`
+	Approx  bool `json:"approx,omitempty"`
 	// Done/Total track replication progress while running.
 	Done  int `json:"done"`
 	Total int `json:"total"`
@@ -196,6 +201,12 @@ type manager struct {
 	wg      sync.WaitGroup
 	baseCtx context.Context
 	stop    context.CancelFunc
+
+	// Surrogate serving and predictive admission (see approx.go). The index
+	// and forecaster are mutated under their own locks, not m.mu.
+	sur *surrogate.Surrogate
+	ix  *surrogate.Index
+	fc  *forecast.Forecaster
 }
 
 // newManager builds the manager, re-enqueues the jobs recovered from the
@@ -216,6 +227,7 @@ func newManager(cfg Config, c *cache, w *wal, ckptDir string, recovered []walJob
 		seq:   maxSeq,
 	}
 	m.baseCtx, m.stop = context.WithCancel(context.Background())
+	m.initApprox()
 	m.recover(recovered)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -319,6 +331,7 @@ func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
 	if m.draining {
 		return JobStatus{}, errDraining
 	}
+	m.observeQueue()
 
 	// Content-addressed hit: answer from the cache without running.
 	if body, ok := m.cache.get(fp); ok {
@@ -340,6 +353,23 @@ func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
 		return st, nil
 	}
 
+	// Approx mode: let the analytic surrogate answer without simulating.
+	// After the cache and dedup checks so an exact result (present or in
+	// flight) always wins over an approximation of it.
+	if exp.Approx && !m.cfg.NoApprox {
+		if st, ok := m.trySurrogate(exp); ok {
+			return st, nil
+		}
+	}
+
+	// Predictive shed: refuse work the depth forecast says will overflow
+	// the queue within the horizon. Only real enqueues are shed — cached,
+	// deduped, and surrogate answers consume no queue slot.
+	if m.forecastShed() {
+		m.cfg.Metrics.Add("forecast_shed", 1)
+		return JobStatus{}, errQueueFull
+	}
+
 	j := m.newJobLocked(fp, exp)
 	// Copy the status before the job becomes visible to a worker: once it
 	// is on the queue a worker may mutate it concurrently.
@@ -354,6 +384,7 @@ func (m *manager) submit(exp *sweep.Experiment) (JobStatus, error) {
 	}
 	m.active[fp] = j
 	m.cfg.Metrics.Add("jobs_queued", 1)
+	m.fc.ObserveArrival()
 	// High-watermark of the queue: pressure that spikes and drains between
 	// /metrics scrapes (an overload burst) stays visible to the harness.
 	m.cfg.Metrics.SetMax("queue_depth_peak", float64(len(m.queue)))
@@ -642,6 +673,9 @@ func (m *manager) runAttempt(j *job) attemptVerdict {
 				s.FinishedAt = now()
 			})
 			m.walTerminal(j)
+			// The fresh exact result becomes interpolation anchors for
+			// future approx submissions in its family.
+			m.ix.AddExact(res)
 			m.cfg.Metrics.Add("sim_runs", 1)
 			m.cfg.Metrics.Add("jobs_done", 1)
 			m.cfg.Metrics.Add("slots_simulated", totalSlots)
@@ -714,13 +748,16 @@ func (m *manager) walTerminal(j *job) {
 	}
 }
 
-// finish retires the job from the single-flight table.
+// finish retires the job from the single-flight table and counts it as a
+// completion for the queue forecaster (every accepted job passes through
+// here exactly once, whatever its terminal state).
 func (m *manager) finish(j *job) {
 	m.mu.Lock()
 	if m.active[j.fingerprint] == j {
 		delete(m.active, j.fingerprint)
 	}
 	m.mu.Unlock()
+	m.fc.ObserveCompletion()
 }
 
 // drain stops intake and waits for every accepted job — running and queued

@@ -40,7 +40,13 @@ type PointDoc struct {
 	MaxDimUtil nullFloat   `json:"maxDimUtil"`
 	DimUtil    []nullFloat `json:"dimUtil,omitempty"`
 	// ReceptionCI is the 95% confidence half-width of the reception mean.
+	// The remaining CIs cover the other delay metrics; the surrogate index
+	// folds them into its interpolation error bounds.
 	ReceptionCI nullFloat `json:"receptionCI"`
+	BroadcastCI nullFloat `json:"broadcastCI"`
+	UnicastCI   nullFloat `json:"unicastCI"`
+	HighWaitCI  nullFloat `json:"highWaitCI"`
+	LowWaitCI   nullFloat `json:"lowWaitCI"`
 
 	GeneratedBroadcasts  int64  `json:"generatedBroadcasts"`
 	IncompleteBroadcasts int64  `json:"incompleteBroadcasts"`
@@ -87,6 +93,10 @@ func encodeResult(fingerprint, engine string, res *sweep.Result) ([]byte, error)
 				AvgUtil:     nullFloat(p.AvgUtil.Mean()),
 				MaxDimUtil:  nullFloat(p.MaxDimUtil.Mean()),
 				ReceptionCI: nullFloat(p.Reception.HalfWidth95()),
+				BroadcastCI: nullFloat(p.Broadcast.HalfWidth95()),
+				UnicastCI:   nullFloat(p.Unicast.HalfWidth95()),
+				HighWaitCI:  nullFloat(p.HighWait.HalfWidth95()),
+				LowWaitCI:   nullFloat(p.LowWait.HalfWidth95()),
 
 				GeneratedBroadcasts:  p.GeneratedBroadcasts,
 				IncompleteBroadcasts: p.IncompleteBroadcasts,

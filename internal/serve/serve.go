@@ -36,6 +36,7 @@ import (
 	"prioritystar/internal/obs"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/spec"
+	"prioritystar/internal/surrogate"
 	"prioritystar/internal/sweep"
 )
 
@@ -70,8 +71,21 @@ type Config struct {
 	// JobTimeout arms a wall-clock guard on jobs that do not set their own;
 	// 0 leaves them unguarded.
 	JobTimeout time.Duration
-	// RetryAfter is the hint sent with 429 responses. Default 1s.
+	// RetryAfter is the floor of the hint sent with 429 responses; the
+	// actual hint scales with the forecast queue-drain time. Default 1s.
 	RetryAfter time.Duration
+	// ApproxTol is the default relative error tolerance for approx-mode
+	// submissions whose spec does not set its own (0: the surrogate
+	// package default, 5%).
+	ApproxTol float64
+	// NoApprox disables the surrogate fast path: approx-mode submissions
+	// are executed exactly, as if they had not asked.
+	NoApprox bool
+	// ForecastAdmission enables predictive shedding: submissions that
+	// would enqueue are refused with 429 when the queue-depth forecast
+	// says the queue will overflow within the horizon, instead of waiting
+	// for it to actually fill.
+	ForecastAdmission bool
 	// ReadHeaderTimeout bounds how long a connection may dribble its request
 	// headers before being dropped (slow-loris defense). Default 5s.
 	ReadHeaderTimeout time.Duration
@@ -167,6 +181,11 @@ func New(cfg Config) (*Server, error) {
 	// problem, so the skip count is a first-class metric, not just a log
 	// line. Registered even at zero so fleet dashboards can alarm on it.
 	cfg.Metrics.Add("journal_records_skipped", int64(c.skipped+walSkipped))
+	// Surrogate and forecast counters exist from boot (at zero) so the load
+	// harness and dashboards can read them unconditionally.
+	cfg.Metrics.Add("surrogate_hits", 0)
+	cfg.Metrics.Add("surrogate_fallbacks", 0)
+	cfg.Metrics.Add("forecast_shed", 0)
 	s := &Server{cfg: cfg, mgr: newManager(cfg, c, w, ckptDir, pending, maxSeq)}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
@@ -307,6 +326,18 @@ func (s *Server) Submit(e *spec.Experiment) (JobStatus, error) {
 	if err := exp.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	if s.cfg.NoApprox {
+		exp.Approx = false
+	}
+	// Ill-posed approximate requests fail loudly at admission (the HTTP
+	// layer maps this to 400): a fault schedule or a guard-terminated
+	// regime has no closed-form model, so "approximately" answering one is
+	// a category error, not a fallback case.
+	if exp.Approx {
+		if err := surrogate.Eligible(exp); err != nil {
+			return JobStatus{}, err
+		}
+	}
 	return s.mgr.submit(exp)
 }
 
@@ -326,8 +357,8 @@ type errorDoc struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Admission accounting: every submission lands in exactly one of
 	// submits_total = accepted (jobs_queued) + cache_hits + jobs_deduped +
-	// rejected. The load harness cross-checks its client-side view against
-	// these counters after a run.
+	// surrogate_hits + rejected. The load harness cross-checks its
+	// client-side view against these counters after a run.
 	s.cfg.Metrics.Add("submits_total", 1)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -342,7 +373,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 	case err == errQueueFull:
 		s.cfg.Metrics.Add("submits_rejected_429", 1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		// The hint tracks the forecast drain time of the backlog rather
+		// than a fixed constant, so clients back off proportionally to how
+		// overloaded the daemon actually is.
+		hint := s.mgr.retryAfterHint()
+		w.Header().Set("Retry-After", strconv.Itoa(int((hint+time.Second-1)/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, errorDoc{Error: err.Error()})
 		return
 	case err == errDraining:
@@ -458,6 +493,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.Set("queue_depth", float64(s.mgr.queueDepth()))
 	m.Set("cache_entries", float64(s.mgr.cache.len()))
 	m.Set("inflight", float64(s.mgr.inflight()))
+	m.Set("surrogate_anchors", float64(s.mgr.ix.Anchors()))
+	for k, v := range s.mgr.fc.Snapshot() {
+		m.Set(k, v)
+	}
 	writeJSON(w, http.StatusOK, m.Snapshot())
 }
 

@@ -119,6 +119,8 @@ func TestFingerprintIgnoresExecutionKnobs(t *testing.T) {
 	m.Resume = true
 	m.Progress = func(done, total int) {}
 	m.Execution = sweep.ExecSequential // bit-identical dispatch modes share a fingerprint
+	m.Approx = true                    // serving mode: an approx submit must hit the exact cache
+	m.ApproxTol = 0.25
 	got, err := Fingerprint(m)
 	if err != nil {
 		t.Fatal(err)

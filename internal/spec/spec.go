@@ -57,6 +57,18 @@ type Experiment struct {
 	// scheduled.
 	Execution string `json:"execution,omitempty"`
 
+	// Mode selects how the daemon may answer the submission: "" or "exact"
+	// requires a real simulation; "approx" lets the analytic surrogate
+	// answer from the closed-form model plus interpolation over cached
+	// exact results, falling back to simulation when uncertain. The mode
+	// cannot change simulated results, so like Execution it is excluded
+	// from Fingerprint — an approx submission shares its cache identity
+	// with the exact one.
+	Mode string `json:"mode,omitempty"`
+	// ApproxTol is the relative reception-delay error tolerance accepted in
+	// approx mode (0: the daemon's default). Excluded from Fingerprint.
+	ApproxTol float64 `json:"approxTol,omitempty"`
+
 	// Faults is a fault-schedule description in the -faults CLI syntax
 	// (e.g. "perm:2,trans:500/50,seed:7"); empty means a fault-free run.
 	Faults string `json:"faults,omitempty"`
@@ -162,6 +174,17 @@ func (e *Experiment) ToSweep() (*sweep.Experiment, error) {
 	default:
 		return nil, fmt.Errorf("spec: unknown execution mode %q", e.Execution)
 	}
+	switch strings.ToLower(e.Mode) {
+	case "", "exact":
+	case "approx", "approximate":
+		out.Approx = true
+	default:
+		return nil, fmt.Errorf("spec: unknown mode %q (want \"exact\" or \"approx\")", e.Mode)
+	}
+	if e.ApproxTol < 0 {
+		return nil, fmt.Errorf("spec: negative approxTol %g", e.ApproxTol)
+	}
+	out.ApproxTol = e.ApproxTol
 	if e.Faults != "" {
 		f, err := cli.ParseFaults(e.Faults)
 		if err != nil {
@@ -242,6 +265,10 @@ func FromSweep(e *sweep.Experiment) *Experiment {
 	if e.Execution == sweep.ExecSequential {
 		out.Execution = "sequential"
 	}
+	if e.Approx {
+		out.Mode = "approx"
+	}
+	out.ApproxTol = e.ApproxTol
 	out.Faults = e.Faults.String()
 	if e.Guard.DivergeBacklog != 0 || e.Guard.GrowthWindow != 0 ||
 		e.Guard.GrowthRuns != 0 || e.Guard.GrowthSlack != 0 {

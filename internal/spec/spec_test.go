@@ -144,6 +144,42 @@ func TestExecutionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestModeRoundTrip: the serving mode defaults to exact, parses "approx"
+// (with its tolerance), survives Save/Load, and rejects unknown values.
+func TestModeRoundTrip(t *testing.T) {
+	def, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Approx || def.ApproxTol != 0 {
+		t.Errorf("default mode = approx=%v tol=%g, want exact", def.Approx, def.ApproxTol)
+	}
+	ap := strings.Replace(sample, `"id": "my-sweep",`,
+		`"id": "my-sweep", "mode": "approx", "approxTol": 0.1,`, 1)
+	orig, err := Load(strings.NewReader(ap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Approx || orig.ApproxTol != 0.1 {
+		t.Fatalf("mode lost in load: approx=%v tol=%g", orig.Approx, orig.ApproxTol)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Approx || back.ApproxTol != 0.1 {
+		t.Errorf("mode lost in round trip: approx=%v tol=%g", back.Approx, back.ApproxTol)
+	}
+	bad := strings.Replace(sample, `"id": "my-sweep",`, `"id": "my-sweep", "mode": "fuzzy",`, 1)
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
 const faultedSample = `{
   "id": "faulted",
   "dims": [4, 4],

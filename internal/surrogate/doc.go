@@ -1,0 +1,109 @@
+package surrogate
+
+// The approximate result document: what the daemon returns for a
+// surrogate-answered job. It mirrors the serving layer's exact result
+// document — same field names, same null-for-NaN convention — so clients
+// parse both with one decoder, but it is unmistakably marked: "approx":
+// true at the top, a per-point source ("anchor" or "interp"), the anchor
+// bracket each point was interpolated from, and error-bound fields where
+// the exact document has confidence half-widths. The top-level marker also
+// stops the document from ever feeding the anchor index (AddResult refuses
+// approx documents), so surrogate answers cannot compound.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"prioritystar/internal/spec"
+)
+
+// optFloat maps non-finite values to JSON null, matching the exact result
+// document's encoding of unmeasured cells.
+type optFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f optFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// PointDoc is one answered (scheme, rho) cell.
+type PointDoc struct {
+	Rho       float64  `json:"rho"`
+	Reception optFloat `json:"reception"`
+	Broadcast optFloat `json:"broadcast"`
+	Unicast   optFloat `json:"unicast"`
+	HighWait  optFloat `json:"highWait"`
+	LowWait   optFloat `json:"lowWait"`
+	// The *CI fields carry the surrogate's error bounds in the slots where
+	// the exact document reports confidence half-widths.
+	ReceptionCI optFloat `json:"receptionCI"`
+	BroadcastCI optFloat `json:"broadcastCI"`
+	UnicastCI   optFloat `json:"unicastCI"`
+	HighWaitCI  optFloat `json:"highWaitCI"`
+	LowWaitCI   optFloat `json:"lowWaitCI"`
+	// Source says how the point was answered: "anchor" (an exact cached
+	// measurement) or "interp" (residual interpolation between AnchorLo and
+	// AnchorHi).
+	Source   string  `json:"source"`
+	AnchorLo float64 `json:"anchorLo"`
+	AnchorHi float64 `json:"anchorHi"`
+}
+
+// SeriesDoc is one scheme's answered curve.
+type SeriesDoc struct {
+	Scheme string     `json:"scheme"`
+	Points []PointDoc `json:"points"`
+}
+
+// Doc is the complete approximate result payload.
+type Doc struct {
+	Fingerprint string           `json:"fingerprint"`
+	Engine      string           `json:"engine"`
+	Approx      bool             `json:"approx"` // always true
+	Tol         float64          `json:"tol"`
+	Spec        *spec.Experiment `json:"spec"`
+	Series      []SeriesDoc      `json:"series"`
+}
+
+// Encode flattens the evaluation into the approximate result document.
+func (ev *Evaluation) Encode(fingerprint, engine string) ([]byte, error) {
+	doc := Doc{
+		Fingerprint: fingerprint,
+		Engine:      engine,
+		Approx:      true,
+		Tol:         ev.Tol,
+		Spec:        spec.FromSweep(ev.Exp),
+	}
+	for _, s := range ev.Series {
+		sd := SeriesDoc{Scheme: s.Scheme}
+		for _, p := range s.Points {
+			sd.Points = append(sd.Points, PointDoc{
+				Rho:         p.Rho,
+				Reception:   optFloat(p.Val[MReception]),
+				Broadcast:   optFloat(p.Val[MBroadcast]),
+				Unicast:     optFloat(p.Val[MUnicast]),
+				HighWait:    optFloat(p.Val[MHighWait]),
+				LowWait:     optFloat(p.Val[MLowWait]),
+				ReceptionCI: optFloat(p.Bound[MReception]),
+				BroadcastCI: optFloat(p.Bound[MBroadcast]),
+				UnicastCI:   optFloat(p.Bound[MUnicast]),
+				HighWaitCI:  optFloat(p.Bound[MHighWait]),
+				LowWaitCI:   optFloat(p.Bound[MLowWait]),
+				Source:      p.Source,
+				AnchorLo:    p.Lo,
+				AnchorHi:    p.Hi,
+			})
+		}
+		doc.Series = append(doc.Series, sd)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: encoding approx result: %w", err)
+	}
+	return b, nil
+}

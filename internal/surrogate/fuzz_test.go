@@ -1,0 +1,58 @@
+package surrogate
+
+import (
+	"testing"
+)
+
+// FuzzSurrogateTable throws arbitrary bytes at the anchor-table loader.
+// The daemon feeds AddResult every document in its cache journal at boot,
+// so a corrupt or adversarial journal entry must degrade to an error, never
+// a panic, and whatever does get indexed must keep the table's invariants:
+// anchors sorted strictly by rho, counts consistent, and evaluation over
+// the resulting table total (returns or errors, never panics).
+func FuzzSurrogateTable(f *testing.F) {
+	e := exp(f, "0.3", "")
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`{"spec": {"id": "x"}, "series": []}`))
+	f.Add([]byte(`{"approx": true}`))
+	f.Add([]byte(`{"spec": {"id": "x", "dims": [4,4]}, "series": [{"scheme": "s", "points": [{"rho": 0.5, "reception": 1}]}]}`))
+	f.Add([]byte(`{"spec": {}, "series": [{"scheme": "", "points": [{"rho": 1e308, "reception": -1e308, "receptionCI": 0}]}]}`))
+	f.Add([]byte(sampleDoc(f, e, 0.25)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ix := NewIndex()
+		err := ix.AddResult(raw)
+		if err != nil && ix.Anchors() != 0 {
+			// AddResult holds the lock for the whole document, but a failed
+			// document may still have inserted anchors before discovering it
+			// is unusable only when it added none — "no usable anchors" is
+			// the only post-insert error, so err implies an empty table.
+			t.Fatalf("error %v yet %d anchors indexed", err, ix.Anchors())
+		}
+		ix.mu.RLock()
+		total := 0
+		for _, schemes := range ix.families {
+			for _, as := range schemes {
+				total += len(as)
+				for i := 1; i < len(as); i++ {
+					if !(as[i-1].rho < as[i].rho) {
+						t.Fatalf("anchors out of order: %g then %g", as[i-1].rho, as[i].rho)
+					}
+				}
+			}
+		}
+		if total != ix.anchors {
+			t.Fatalf("anchor count %d, table holds %d", ix.anchors, total)
+		}
+		ix.mu.RUnlock()
+		// Evaluation over whatever was indexed must be total.
+		sg := New(ix)
+		if ev, err := sg.Evaluate(e); err == nil {
+			if len(ev.Series) != len(e.Schemes) {
+				t.Fatalf("evaluation shape: %d series for %d schemes", len(ev.Series), len(e.Schemes))
+			}
+			if _, err := ev.Encode("ps1-fuzz", "fuzz"); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+		}
+	})
+}

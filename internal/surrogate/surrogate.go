@@ -1,0 +1,251 @@
+// Package surrogate answers sweep submissions without running the
+// simulator. It combines the closed-form Section 2/3.2 model
+// (internal/analysis) with interpolation over the daemon's cache of exact
+// results: the analytic curves supply the shape of each metric in rho, and
+// cached exact points supply per-family corrections (residuals) that pin
+// the curve to what the event-driven engine actually measures.
+//
+// Every answer carries an explicit error bound — the residual spread
+// between the bracketing anchors plus their confidence half-widths — and
+// an evaluation succeeds only if the bound on the reception delay fits the
+// caller's tolerance at every (scheme, rho) point. Anything else is an
+// error, and the serving layer falls back to a real simulation. The
+// surrogate is therefore safe by construction: it refuses rather than
+// guesses, and what it returns is either an exact cached value or an
+// interpolation whose stated bound the differential tests hold it to.
+package surrogate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"prioritystar/internal/analysis"
+	"prioritystar/internal/sweep"
+	"prioritystar/internal/torus"
+)
+
+// Defaults for Surrogate knobs left zero.
+const (
+	// DefaultTol is the relative reception-delay error tolerance used when
+	// neither the experiment nor the Surrogate sets one.
+	DefaultTol = 0.05
+	// DefaultMaxGap is the widest rho interval between cached anchors the
+	// surrogate will interpolate across. Beyond it the analytic curve has
+	// too much room to drift from the measured one for the residual bound
+	// to stay honest.
+	DefaultMaxGap = 0.25
+)
+
+// Surrogate evaluates approximate answers against an anchor index.
+type Surrogate struct {
+	ix *Index
+	// Tol is the default relative error tolerance (0 means DefaultTol).
+	Tol float64
+	// MaxGap is the widest anchor bracket to interpolate across (0 means
+	// DefaultMaxGap).
+	MaxGap float64
+}
+
+// New returns a Surrogate reading anchors from ix.
+func New(ix *Index) *Surrogate { return &Surrogate{ix: ix} }
+
+// Eligible reports whether the experiment is one the analytic model covers
+// at all. Ill-posed approximate requests — fault schedules, watchdog-
+// terminated regimes, backlog truncation, loads outside the model's open
+// (0,1) interval — fail here with an error meant for a 400 response, not a
+// simulation fallback: no amount of cached data makes the closed-form
+// curves apply to them.
+func Eligible(e *sweep.Experiment) error {
+	if e == nil {
+		return errors.New("surrogate: nil experiment")
+	}
+	if _, err := torus.New(e.Dims...); err != nil {
+		return fmt.Errorf("surrogate: %v", err)
+	}
+	if e.Faults != nil {
+		return errors.New("surrogate: fault schedules have no closed-form model; submit in exact mode")
+	}
+	// Timeout is a wall-clock brake (the daemon sets it on every job); the
+	// other guard fields deliberately terminate diverging runs and so change
+	// what a result means.
+	g := e.Guard
+	if g.DivergeBacklog != 0 || g.GrowthWindow != 0 || g.GrowthRuns != 0 || g.GrowthSlack != 0 {
+		return errors.New("surrogate: guard-terminated regimes cannot be answered analytically; submit in exact mode")
+	}
+	if e.MaxBacklog != 0 {
+		return errors.New("surrogate: backlog-truncated runs cannot be answered analytically; submit in exact mode")
+	}
+	if len(e.Schemes) == 0 {
+		return errors.New("surrogate: no schemes")
+	}
+	if len(e.Rhos) == 0 {
+		return errors.New("surrogate: no rho points")
+	}
+	for _, rho := range e.Rhos {
+		if !(rho > 0 && rho < 1) {
+			return fmt.Errorf("surrogate: rho %g outside the model's open (0,1) interval", rho)
+		}
+	}
+	return nil
+}
+
+// Point is one answered (scheme, rho) cell: per-metric values with their
+// uncertainty bounds and the anchors they came from.
+type Point struct {
+	Rho    float64
+	Val    values // per-metric answers; NaN where the anchors had no data
+	Bound  values // per-metric error bounds; NaN where unknowable
+	Source string // "anchor" (exact cache hit) or "interp"
+	// Lo and Hi are the bracketing anchor rhos (equal on an anchor hit).
+	Lo, Hi float64
+}
+
+// Value returns the point's answer for one metric (NaN if unavailable).
+func (p *Point) Value(m Metric) float64 { return p.Val[m] }
+
+// ErrBound returns the point's error bound for one metric.
+func (p *Point) ErrBound(m Metric) float64 { return p.Bound[m] }
+
+// Series is one scheme's answered curve.
+type Series struct {
+	Scheme string
+	Points []Point
+}
+
+// Evaluation is a complete surrogate answer for an experiment.
+type Evaluation struct {
+	Exp    *sweep.Experiment
+	Tol    float64 // the tolerance the answer was gated against
+	Series []Series
+}
+
+// tolerance resolves the effective tolerance for an experiment.
+func (sg *Surrogate) tolerance(e *sweep.Experiment) float64 {
+	if e.ApproxTol > 0 {
+		return e.ApproxTol
+	}
+	if sg.Tol > 0 {
+		return sg.Tol
+	}
+	return DefaultTol
+}
+
+func (sg *Surrogate) maxGap() float64 {
+	if sg.MaxGap > 0 {
+		return sg.MaxGap
+	}
+	return DefaultMaxGap
+}
+
+// base returns the analytic curve values at rho: the closed-form model the
+// residuals correct. The exact level does not matter for accuracy — any
+// rho-dependence the curve misses shows up in the residual spread and
+// therefore in the bound — but the better the shape, the tighter the
+// bounds, so each metric uses its own Section 2/3.2 form.
+func base(s *torus.Shape, rho float64) values {
+	v := values{}
+	v[MReception] = analysis.ReceptionLowerBound(s, rho)
+	v[MBroadcast] = analysis.BroadcastLowerBound(s, rho)
+	v[MUnicast] = analysis.UnicastLowerBound(s, rho)
+	// High-priority packets are the < 1/n fraction in their final
+	// dimension; the paper's G/D/1 bound uses the arity, so take the
+	// smallest ring as the conservative n.
+	n := s.Dim(0)
+	for i := 1; i < s.Dims(); i++ {
+		n = min(n, s.Dim(i))
+	}
+	v[MHighWait] = analysis.HighPriorityWaitBound(rho, n)
+	v[MLowWait] = analysis.MD1Wait(rho)
+	return v
+}
+
+// Evaluate answers the whole experiment or nothing: every (scheme, rho)
+// cell must resolve to an anchor hit or an in-tolerance interpolation,
+// otherwise the error says which cell failed and why and the caller should
+// run the real simulation. Eligible(e) is assumed to have passed.
+func (sg *Surrogate) Evaluate(e *sweep.Experiment) (*Evaluation, error) {
+	shape, err := torus.New(e.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("surrogate: %v", err)
+	}
+	ev := &Evaluation{Exp: e, Tol: sg.tolerance(e)}
+	family := FamilyKey(e)
+	for _, sch := range e.Schemes {
+		anchors := sg.ix.lookup(family, sch.Name)
+		ser := Series{Scheme: sch.Name}
+		for _, rho := range e.Rhos {
+			p, err := sg.point(shape, anchors, rho, ev.Tol)
+			if err != nil {
+				return nil, fmt.Errorf("surrogate: %s at rho %g: %w", sch.Name, rho, err)
+			}
+			ser.Points = append(ser.Points, p)
+		}
+		ev.Series = append(ev.Series, ser)
+	}
+	return ev, nil
+}
+
+// point answers one (scheme, rho) cell from the scheme's sorted anchors.
+func (sg *Surrogate) point(shape *torus.Shape, anchors []anchor, rho, tol float64) (Point, error) {
+	if len(anchors) == 0 {
+		return Point{}, errors.New("no cached exact results for this experiment family")
+	}
+	// Exact anchor: return the cached measurement with its own CI as the
+	// bound — the surrogate's answer is then the simulator's answer.
+	for _, a := range anchors {
+		if a.rho == rho {
+			p := Point{Rho: rho, Val: a.val, Bound: a.ci, Source: "anchor", Lo: a.rho, Hi: a.rho}
+			return p, checkTol(p, tol)
+		}
+	}
+	// Otherwise interpolate between the bracketing anchors. No
+	// extrapolation: the residual bound only covers the interval between
+	// anchors it has seen both ends of.
+	i := 0
+	for i < len(anchors) && anchors[i].rho < rho {
+		i++
+	}
+	if i == 0 || i == len(anchors) {
+		return Point{}, fmt.Errorf("rho outside the cached anchor range [%g, %g]",
+			anchors[0].rho, anchors[len(anchors)-1].rho)
+	}
+	lo, hi := anchors[i-1], anchors[i]
+	if gap := hi.rho - lo.rho; gap > sg.maxGap() {
+		return Point{}, fmt.Errorf("anchor gap %g around rho %g exceeds %g", gap, rho, sg.maxGap())
+	}
+	t := (rho - lo.rho) / (hi.rho - lo.rho)
+	bv, b0, b1 := base(shape, rho), base(shape, lo.rho), base(shape, hi.rho)
+	p := Point{Rho: rho, Source: "interp", Lo: lo.rho, Hi: hi.rho}
+	for m := Metric(0); m < numMetrics; m++ {
+		r0 := lo.val[m] - b0[m]
+		r1 := hi.val[m] - b1[m]
+		// approx = analytic shape + linearly interpolated residual. The
+		// bound charges the full residual spread — the worst the true
+		// residual can deviate from the lerp if it is monotone between the
+		// anchors — plus both anchors' own statistical uncertainty.
+		p.Val[m] = bv[m] + r0 + t*(r1-r0)
+		p.Bound[m] = math.Abs(r1-r0) + lo.ci[m] + hi.ci[m]
+	}
+	return p, checkTol(p, tol)
+}
+
+// checkTol gates the answer on its reception-delay bound: the headline
+// metric must be provably within tol (relative, floored at 1 slot of
+// absolute error) or the caller falls back to simulation. Other metrics
+// keep their bounds in the answer but do not gate — a cell with no unicast
+// traffic, say, has nothing to bound.
+func checkTol(p Point, tol float64) error {
+	val, bound := p.Val[MReception], p.Bound[MReception]
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return errors.New("no finite reception-delay answer")
+	}
+	if math.IsNaN(bound) || math.IsInf(bound, 0) {
+		return errors.New("reception-delay error bound unknown")
+	}
+	if limit := tol * math.Max(math.Abs(val), 1); bound > limit {
+		return fmt.Errorf("reception-delay error bound %.4g exceeds tolerance %.4g (tol %g)",
+			bound, limit, tol)
+	}
+	return nil
+}

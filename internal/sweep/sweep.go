@@ -132,6 +132,19 @@ type Experiment struct {
 	// bit-identical either way, so the knob is outside spec.Fingerprint.
 	Execution Execution
 
+	// Approx marks the experiment as willing to accept an approximate
+	// answer: the serving layer may answer it from the analytic surrogate
+	// (closed-form model plus interpolation over cached exact results)
+	// instead of simulating, falling back to a real run when the surrogate
+	// is uncertain. Run itself ignores it — an experiment that reaches the
+	// engine is always simulated exactly — and like Execution it cannot
+	// change simulated results, so it stays outside spec.Fingerprint.
+	Approx bool
+	// ApproxTol is the relative error tolerance an Approx experiment
+	// accepts on the surrogate's reception-delay answers; 0 uses the
+	// serving layer's default. Also outside spec.Fingerprint.
+	ApproxTol float64
+
 	// Faults applies one deterministic fault schedule (see internal/fault)
 	// to every replication. nil or empty keeps runs fault-free.
 	Faults *fault.Schedule

@@ -35,11 +35,13 @@ import (
 	"prioritystar/internal/core"
 	"prioritystar/internal/fault"
 	"prioritystar/internal/finite"
+	"prioritystar/internal/forecast"
 	"prioritystar/internal/obs"
 	"prioritystar/internal/serve"
 	"prioritystar/internal/sim"
 	"prioritystar/internal/spec"
 	"prioritystar/internal/static"
+	"prioritystar/internal/surrogate"
 	"prioritystar/internal/sweep"
 	"prioritystar/internal/torus"
 	"prioritystar/internal/traffic"
@@ -432,3 +434,36 @@ func Fingerprint(e *Experiment) (string, error) { return spec.Fingerprint(e) }
 // SpecFromExperiment converts a resolved experiment to its portable spec
 // document (for submission to a daemon or saving to a file).
 func SpecFromExperiment(e *Experiment) *ExperimentSpec { return spec.FromSweep(e) }
+
+// Surrogate serving (DESIGN.md §4h): a daemon may answer "mode": "approx"
+// submissions from the analytic model plus interpolation over its cache of
+// exact results, with explicit error bounds, instead of simulating.
+type (
+	// SurrogateIndex is the family-keyed anchor table built from exact
+	// result documents; feed it with AddResult/AddExact.
+	SurrogateIndex = surrogate.Index
+	// Surrogate answers sweep experiments from a SurrogateIndex, falling
+	// back (by returning an error from Evaluate) when it cannot certify
+	// the requested tolerance.
+	Surrogate = surrogate.Surrogate
+	// Forecaster tracks queue-pressure trajectories (EWMA rates + Holt
+	// depth trend) and drives predictive admission.
+	Forecaster = forecast.Forecaster
+	// ForecastConfig tunes a Forecaster; the zero value uses defaults.
+	ForecastConfig = forecast.Config
+)
+
+// NewSurrogateIndex returns an empty anchor index.
+func NewSurrogateIndex() *SurrogateIndex { return surrogate.NewIndex() }
+
+// NewSurrogate builds a surrogate over ix with the default tolerance.
+func NewSurrogate(ix *SurrogateIndex) *Surrogate { return surrogate.New(ix) }
+
+// NewForecaster builds a queue-pressure forecaster.
+func NewForecaster(cfg ForecastConfig) *Forecaster { return forecast.New(cfg) }
+
+// SurrogateEligible reports (as an error with the reason) whether an
+// experiment can be answered approximately at all: fault schedules,
+// result-affecting guards, bounded backlogs, and saturated loads are
+// ineligible and should be submitted in exact mode.
+func SurrogateEligible(e *Experiment) error { return surrogate.Eligible(e) }
