@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all help check build vet test race chaos chaos-cluster lint smoke-faults smoke-serve smoke-approx load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
+.PHONY: all help check build vet test race chaos chaos-cluster chaos-net lint smoke-faults smoke-serve smoke-approx load load-smoke load-gate fuzz bench bench-json bench-gate cover figures figures-quick report examples clean
 
 all: build vet test race
 
@@ -14,7 +14,7 @@ all: build vet test race
 # BENCH_sim.json; LOAD_GATE=1 does the same for service latency/throughput
 # against BENCH_serve.json (both off by default so the gate never flakes a
 # loaded box).
-check: vet build test smoke-faults smoke-serve smoke-approx chaos chaos-cluster load-smoke
+check: vet build test smoke-faults smoke-serve smoke-approx chaos chaos-cluster chaos-net load-smoke
 ifneq ($(BENCH_GATE),)
 check: bench-gate
 endif
@@ -34,6 +34,8 @@ help:
 	@echo "                journals, quarantine, client retries, SIGKILL+restart"
 	@echo "  chaos-cluster fleet chaos under -race: scatter/gather byte-identity,"
 	@echo "                lease expiry, worker+coordinator SIGKILL mid-sweep"
+	@echo "  chaos-net     network chaos under -race: partitions, one-way drops,"
+	@echo "                truncation, breakers, hedging, local degradation"
 	@echo "  lint          go vet + staticcheck (skipped gracefully if absent)"
 	@echo "  smoke-faults  watchdogged 4x4 sweep with injected faults"
 	@echo "  smoke-serve   starsimd daemon round trip: submit, cache hit, drain"
@@ -47,8 +49,8 @@ help:
 	@echo "                p95/p99/throughput regression (LOAD_GATE=1 wires"
 	@echo "                it into 'check')"
 	@echo "  fuzz          fuzz the FIFO ring buffer, the trace reader, the"
-	@echo "                latency sketch codec, and the BENCH_serve reader"
-	@echo "                (FUZZTIME=30s to change)"
+	@echo "                latency sketch codec, the BENCH_serve reader, and"
+	@echo "                the fleet wire protocol (FUZZTIME=30s to change)"
 	@echo "  bench         go test -bench over every figure benchmark"
 	@echo "  bench-json    engine benchmarks -> BENCH_sim.json"
 	@echo "                (make bench-json BENCH_BASELINE=old.json for speedups)"
@@ -65,7 +67,7 @@ help:
 # lazy per-shape link tables, pooled runners, fault timelines, the daemon's
 # worker pool, cache, and journals).
 race:
-	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen ./internal/cluster ./internal/surrogate ./internal/forecast
+	$(GO) test -race ./internal/sim ./internal/queue ./internal/torus ./internal/sweep ./internal/obs ./internal/fault ./internal/serve ./internal/journal ./internal/loadgen ./internal/cluster ./internal/chaosnet ./internal/surrogate ./internal/forecast
 
 # The chaos harness under the race detector: lenient journal loading, WAL
 # replay and quarantine, client retry/backoff, and the subprocess suite
@@ -83,6 +85,19 @@ chaos:
 chaos-cluster:
 	$(GO) test -race ./internal/cluster
 	$(GO) test -race -run 'ClusterChaos' ./cmd/starsimd
+
+# The network chaos harness under the race detector: the chaosnet fault
+# transport and proxy themselves, the in-process chaos matrix (partition
+# storm -> local degradation, truncated/corrupt responses retried not
+# folded, hedged dispatch discarding its loser, jittered rejoin backoff),
+# the loadgen partition-storm scenario, and the subprocess suite that cuts
+# real coordinator->worker links mid-sweep and requires a byte-identical
+# result with zero re-simulated checkpointed replications.
+chaos-net:
+	$(GO) test -race ./internal/chaosnet
+	$(GO) test -race -run 'PartitionStorm|Truncated|CorruptResponse|OneWayPartition|HedgedDispatch|Breaker|AgentJitter|SubjobTimeout|WireDecode' ./internal/cluster
+	$(GO) test -race -run 'TestLoadPartitionStorm' -count=1 ./internal/loadgen
+	$(GO) test -race -run 'TestChaosNet' ./cmd/starsimd
 
 # Static analysis: vet always; staticcheck only when installed (the build
 # image does not ship it — skip with a note rather than fail).
@@ -171,6 +186,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSketchDecode -fuzztime $(FUZZTIME) ./internal/loadgen
 	$(GO) test -fuzz FuzzTrajectoryReader -fuzztime $(FUZZTIME) ./internal/loadgen
 	$(GO) test -fuzz FuzzSurrogateTable -fuzztime $(FUZZTIME) ./internal/surrogate
+	$(GO) test -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/cluster
 
 build:
 	$(GO) build ./...

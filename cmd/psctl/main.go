@@ -258,15 +258,23 @@ func cmdWorkers(ctx context.Context, addr string) error {
 		fmt.Println("no workers registered")
 		return nil
 	}
-	fmt.Printf("%-7s %-16s %-22s %-6s %-6s %-7s %-6s %s\n",
-		"ID", "NAME", "ADDR", "SLOTS", "DEPTH", "LEASES", "ALIVE", "LAST-SEEN")
+	fmt.Printf("%-7s %-16s %-22s %-6s %-6s %-7s %-6s %-9s %-5s %-8s %s\n",
+		"ID", "NAME", "ADDR", "SLOTS", "DEPTH", "LEASES", "ALIVE", "BREAKER", "FAILS", "EWMA", "LAST-SEEN")
 	for _, w := range ws {
 		alive := "yes"
 		if !w.Alive {
 			alive = "NO"
 		}
-		fmt.Printf("%-7s %-16s %-22s %-6d %-6d %-7d %-6s %dms ago\n",
-			w.ID, w.Name, w.Addr, w.Slots, w.Depth, w.Leases, alive, w.LastSeenMillisAgo)
+		breaker := w.Breaker
+		if breaker == "" {
+			breaker = "closed"
+		}
+		ewma := "-"
+		if w.LatencyEWMAMillis > 0 {
+			ewma = fmt.Sprintf("%.1fms", w.LatencyEWMAMillis)
+		}
+		fmt.Printf("%-7s %-16s %-22s %-6d %-6d %-7d %-6s %-9s %-5d %-8s %dms ago\n",
+			w.ID, w.Name, w.Addr, w.Slots, w.Depth, w.Leases, alive, breaker, w.BreakerFails, ewma, w.LastSeenMillisAgo)
 	}
 	return nil
 }

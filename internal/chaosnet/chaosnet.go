@@ -1,0 +1,346 @@
+// Package chaosnet is a deterministic, seedable fault-injecting transport
+// for the cluster wire protocol: an http.RoundTripper that imposes scripted
+// latency distributions, request/response drops, one-way partitions,
+// slow-trickle bodies, and corrupt or truncated responses on outbound HTTP
+// calls, plus an in-front TCP proxy (proxy.go) for subprocess tests where
+// the faulted peer lives in another process.
+//
+// The paper's routing scheme earns its guarantees by routing around
+// degraded torus links; chaosnet is how we degrade the fleet's links on
+// purpose, repeatably, so the dispatch layer (internal/cluster) can prove
+// it reroutes the same way. Every random draw comes from one seeded
+// generator behind a mutex, so a fixed seed plus a fixed request sequence
+// replays the same fault sequence — a failing chaos run is reproducible by
+// its seed.
+//
+// Faults are scripted per destination host and mutated at runtime:
+//
+//	tr := chaosnet.New(42, nil)
+//	tr.Set(workerAddr, chaosnet.Faults{Latency: 50 * time.Millisecond, Jitter: 20 * time.Millisecond})
+//	tr.Partition(workerAddr)          // hard two-way cut
+//	tr.Set(workerAddr, chaosnet.Faults{DropResponse: 1}) // one-way: work done, result lost
+//	tr.Heal(workerAddr)
+//
+// A Faults value with Times > 0 expires after that many faulted requests —
+// the hook for "exactly one truncated response, then healthy".
+package chaosnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Faults scripts what happens to requests toward one host (or to every
+// host, via Transport.SetAll). Probabilities are in [0, 1]; 0 and 1 make
+// the fault deterministic regardless of seed.
+type Faults struct {
+	// Latency delays the request before it is sent; Jitter adds a uniform
+	// [0, Jitter) random extra, drawn from the transport's seeded source.
+	Latency time.Duration
+	Jitter  time.Duration
+	// DropRequest is the probability the request is lost before reaching
+	// the server (connection-level failure; the server never sees it).
+	DropRequest float64
+	// DropResponse is the probability the request reaches the server and is
+	// fully processed, but the response is lost on the way back — the
+	// one-way partition that makes duplicate-discard load-bearing: the work
+	// happened, the caller cannot know.
+	DropResponse float64
+	// Corrupt is the probability the response body is returned with a run
+	// of bytes flipped — parseable framing, garbage payload.
+	Corrupt float64
+	// Truncate is the probability the response body is cut at half length
+	// and the read errors with io.ErrUnexpectedEOF, like a torn connection.
+	Truncate float64
+	// TrickleBPS, when > 0, throttles the response body to roughly this
+	// many bytes per second (a slow-trickle link).
+	TrickleBPS int
+	// Times, when > 0, bounds how many requests this script faults; after
+	// that many faulted requests the host behaves healthily. 0 is
+	// unlimited.
+	Times int
+}
+
+// partitioned is the script Partition installs: every request dropped.
+var partitioned = Faults{DropRequest: 1}
+
+// hostFaults is one host's mutable script.
+type hostFaults struct {
+	f    Faults
+	used int // requests faulted so far, against f.Times
+}
+
+// Transport is the fault-injecting http.RoundTripper. The zero value is
+// not usable; build one with New.
+type Transport struct {
+	base http.RoundTripper
+
+	mu    sync.Mutex
+	rnd   *rand.Rand
+	hosts map[string]*hostFaults
+	all   *hostFaults
+
+	// counters, for tests and logs
+	dropped   int64
+	corrupted int64
+	truncated int64
+	delayed   int64
+}
+
+// New builds a Transport over base (http.DefaultTransport when nil) with a
+// seeded random source. The same seed and request sequence replay the same
+// fault decisions.
+func New(seed int64, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:  base,
+		rnd:   rand.New(rand.NewSource(seed)),
+		hosts: make(map[string]*hostFaults),
+	}
+}
+
+// Set installs (replaces) the fault script for one host ("host:port", as it
+// appears in request URLs).
+func (t *Transport) Set(host string, f Faults) {
+	t.mu.Lock()
+	t.hosts[host] = &hostFaults{f: f}
+	t.mu.Unlock()
+}
+
+// SetAll installs a default script applied to hosts without their own.
+func (t *Transport) SetAll(f Faults) {
+	t.mu.Lock()
+	t.all = &hostFaults{f: f}
+	t.mu.Unlock()
+}
+
+// Partition hard-cuts one host both ways: every request toward it fails at
+// the connection level.
+func (t *Transport) Partition(host string) { t.Set(host, partitioned) }
+
+// Heal removes the fault script for one host.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	delete(t.hosts, host)
+	t.mu.Unlock()
+}
+
+// HealAll removes every script, host-specific and default.
+func (t *Transport) HealAll() {
+	t.mu.Lock()
+	t.hosts = make(map[string]*hostFaults)
+	t.all = nil
+	t.mu.Unlock()
+}
+
+// Dropped reports how many requests or responses have been dropped.
+func (t *Transport) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// verdict is the set of fault decisions for one request, drawn up front
+// under the lock so the unlocked slow path (sleeping, reading bodies) never
+// touches the shared generator.
+type verdict struct {
+	delay        time.Duration
+	dropRequest  bool
+	dropResponse bool
+	corrupt      bool
+	truncate     bool
+	trickleBPS   int
+	corruptAt    int // seeded corruption offset factor
+}
+
+// decide draws one request's verdict from the host's script.
+func (t *Transport) decide(host string) (verdict, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hf := t.hosts[host]
+	if hf == nil {
+		hf = t.all
+	}
+	if hf == nil {
+		return verdict{}, false
+	}
+	f := hf.f
+	if f.Times > 0 && hf.used >= f.Times {
+		return verdict{}, false
+	}
+	v := verdict{
+		delay:      f.Latency,
+		trickleBPS: f.TrickleBPS,
+		corruptAt:  t.rnd.Intn(1 << 16),
+	}
+	if f.Jitter > 0 {
+		v.delay += time.Duration(t.rnd.Int63n(int64(f.Jitter)))
+	}
+	v.dropRequest = chance(t.rnd, f.DropRequest)
+	// Draw every decision unconditionally so the consumed random sequence —
+	// and therefore every later decision — does not depend on which faults
+	// happen to fire.
+	v.dropResponse = chance(t.rnd, f.DropResponse)
+	v.corrupt = chance(t.rnd, f.Corrupt)
+	v.truncate = chance(t.rnd, f.Truncate)
+	faulted := v.delay > 0 || v.dropRequest || v.dropResponse || v.corrupt || v.truncate || v.trickleBPS > 0
+	if faulted {
+		hf.used++
+	}
+	return v, faulted
+}
+
+// chance draws a biased coin; p <= 0 never fires, p >= 1 always fires,
+// without consuming a random number at the endpoints (determinism at the
+// 0/1 endpoints must not depend on draw order).
+func chance(rnd *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rnd.Float64() < p
+}
+
+// DropError is the connection-level error injected for dropped requests
+// and responses; errors.As-able so tests can tell injected faults from real
+// ones.
+type DropError struct {
+	Host string
+	// Phase is "request" (never reached the server) or "response" (the
+	// server processed it; the answer was lost).
+	Phase string
+}
+
+// Error implements error.
+func (e *DropError) Error() string {
+	return fmt.Sprintf("chaosnet: %s to %s dropped", e.Phase, e.Host)
+}
+
+// RoundTrip applies the host's script: delay, drop, forward, then mangle
+// the response body as scripted.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	v, faulted := t.decide(host)
+	if !faulted {
+		return t.base.RoundTrip(req)
+	}
+	if v.delay > 0 {
+		t.mu.Lock()
+		t.delayed++
+		t.mu.Unlock()
+		select {
+		case <-time.After(v.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if v.dropRequest {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil, &DropError{Host: host, Phase: "request"}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.dropResponse {
+		// The server did the work; the caller will never know. Draining the
+		// body first keeps the keep-alive connection reusable, exactly like
+		// a response lost above the transport.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return nil, &DropError{Host: host, Phase: "response"}
+	}
+	if v.corrupt || v.truncate {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		switch {
+		case v.truncate:
+			t.mu.Lock()
+			t.truncated++
+			t.mu.Unlock()
+			// Half the body, then the read error a torn connection produces.
+			// ContentLength keeps promising the full response so even
+			// length-checking readers see the tear.
+			resp.Body = io.NopCloser(io.MultiReader(
+				bytes.NewReader(body[:len(body)/2]),
+				errReader{io.ErrUnexpectedEOF},
+			))
+		case v.corrupt:
+			t.mu.Lock()
+			t.corrupted++
+			t.mu.Unlock()
+			if len(body) > 0 {
+				start := v.corruptAt % len(body)
+				for i := 0; i < 8 && start+i < len(body); i++ {
+					body[start+i] ^= 0xA5
+				}
+			}
+			resp.Body = io.NopCloser(bytes.NewReader(body))
+		}
+		return resp, nil
+	}
+	if v.trickleBPS > 0 {
+		resp.Body = &trickleReader{r: resp.Body, bps: v.trickleBPS, ctx: req.Context()}
+	}
+	return resp, nil
+}
+
+// errReader fails every Read with its error.
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// trickleReader throttles reads to roughly bps bytes per second in small
+// chunks, aborting when the request context dies (a trickling body must not
+// outlive its caller).
+type trickleReader struct {
+	r   io.ReadCloser
+	bps int
+	ctx context.Context
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if err := t.ctx.Err(); err != nil {
+		return 0, err
+	}
+	chunk := t.bps / 10 // ~10 chunks/second
+	if chunk < 1 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	n, err := t.r.Read(p)
+	if n > 0 {
+		delay := time.Duration(float64(n) / float64(t.bps) * float64(time.Second))
+		select {
+		case <-time.After(delay):
+		case <-t.ctx.Done():
+			return n, t.ctx.Err()
+		}
+	}
+	return n, err
+}
+
+func (t *trickleReader) Close() error { return t.r.Close() }

@@ -1,0 +1,269 @@
+package chaosnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, body string) (*httptest.Server, string, *int64) {
+	t.Helper()
+	var hits int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, u.Host, &hits
+}
+
+func get(t *testing.T, tr *Transport, url string) (string, error) {
+	t.Helper()
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestHealthyPassThrough(t *testing.T) {
+	srv, _, hits := testServer(t, "hello")
+	tr := New(1, nil)
+	body, err := get(t, tr, srv.URL)
+	if err != nil || body != "hello" {
+		t.Fatalf("body=%q err=%v", body, err)
+	}
+	if *hits != 1 {
+		t.Fatalf("hits=%d", *hits)
+	}
+}
+
+func TestPartitionDropsBeforeServer(t *testing.T) {
+	srv, host, hits := testServer(t, "hello")
+	tr := New(1, nil)
+	tr.Partition(host)
+	_, err := get(t, tr, srv.URL)
+	var de *DropError
+	if !errors.As(err, &de) || de.Phase != "request" {
+		t.Fatalf("want request DropError, got %v", err)
+	}
+	if n := atomic.LoadInt64(hits); n != 0 {
+		t.Fatalf("server saw %d requests through a partition", n)
+	}
+	tr.Heal(host)
+	if body, err := get(t, tr, srv.URL); err != nil || body != "hello" {
+		t.Fatalf("after heal: body=%q err=%v", body, err)
+	}
+}
+
+func TestDropResponseReachesServer(t *testing.T) {
+	srv, host, hits := testServer(t, "hello")
+	tr := New(1, nil)
+	tr.Set(host, Faults{DropResponse: 1})
+	_, err := get(t, tr, srv.URL)
+	var de *DropError
+	if !errors.As(err, &de) || de.Phase != "response" {
+		t.Fatalf("want response DropError, got %v", err)
+	}
+	if n := atomic.LoadInt64(hits); n != 1 {
+		t.Fatalf("one-way partition: server hits=%d, want 1", n)
+	}
+}
+
+func TestTruncateHalvesBodyWithTornRead(t *testing.T) {
+	full := strings.Repeat("x", 4096)
+	srv, host, _ := testServer(t, full)
+	tr := New(1, nil)
+	tr.Set(host, Faults{Truncate: 1})
+	body, err := get(t, tr, srv.URL)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if len(body) >= len(full) {
+		t.Fatalf("body not truncated: %d bytes", len(body))
+	}
+}
+
+func TestCorruptKeepsLengthChangesBytes(t *testing.T) {
+	full := strings.Repeat("y", 4096)
+	srv, host, _ := testServer(t, full)
+	tr := New(1, nil)
+	tr.Set(host, Faults{Corrupt: 1})
+	body, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("corrupt read should succeed: %v", err)
+	}
+	if len(body) != len(full) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(body), len(full))
+	}
+	if body == full {
+		t.Fatal("body unchanged")
+	}
+}
+
+func TestTimesBoundsFaults(t *testing.T) {
+	srv, host, _ := testServer(t, "hello")
+	tr := New(1, nil)
+	tr.Set(host, Faults{DropRequest: 1, Times: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, tr, srv.URL); err == nil {
+			t.Fatalf("request %d should drop", i)
+		}
+	}
+	if body, err := get(t, tr, srv.URL); err != nil || body != "hello" {
+		t.Fatalf("after Times exhausted: body=%q err=%v", body, err)
+	}
+}
+
+func TestLatencyHonorsContext(t *testing.T) {
+	srv, host, _ := testServer(t, "hello")
+	tr := New(1, nil)
+	tr.Set(host, Faults{Latency: 10 * time.Second})
+	client := &http.Client{Transport: tr, Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency ignored context: %v", elapsed)
+	}
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	srv, host, _ := testServer(t, "hello")
+	outcomes := func(seed int64) []bool {
+		tr := New(seed, nil)
+		tr.Set(host, Faults{DropRequest: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := get(t, tr, srv.URL)
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(7), outcomes(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d", i)
+		}
+	}
+}
+
+func TestTrickleSlowsBody(t *testing.T) {
+	srv, host, _ := testServer(t, strings.Repeat("z", 512))
+	tr := New(1, nil)
+	tr.Set(host, Faults{TrickleBPS: 1024})
+	start := time.Now()
+	body, err := get(t, tr, srv.URL)
+	if err != nil || len(body) != 512 {
+		t.Fatalf("body=%d err=%v", len(body), err)
+	}
+	// 512 bytes at 1 KiB/s should take roughly half a second.
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("trickle too fast: %v", elapsed)
+	}
+}
+
+func TestProxyRelaysAndPartitions(t *testing.T) {
+	srv, host, hits := testServer(t, "hello")
+	_ = srv
+	px, err := NewProxy(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	urlVia := "http://" + px.Addr() + "/"
+
+	resp, err := client.Get(urlVia)
+	if err != nil {
+		t.Fatalf("through proxy: %v", err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "hello" {
+		t.Fatalf("body=%q", b)
+	}
+
+	addrBefore := px.Addr()
+	px.Partition()
+	if _, err := client.Get(urlVia); err == nil {
+		t.Fatal("request succeeded through a partition")
+	}
+	hitsDuring := atomic.LoadInt64(hits)
+
+	px.Heal()
+	if px.Addr() != addrBefore {
+		t.Fatalf("proxy address changed across partition: %s -> %s", addrBefore, px.Addr())
+	}
+	// Fresh client: the old one may hold a connection pool entry that died.
+	client2 := &http.Client{Timeout: 2 * time.Second}
+	resp2, err := client2.Get(urlVia)
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	b2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(b2) != "hello" {
+		t.Fatalf("after heal body=%q", b2)
+	}
+	if atomic.LoadInt64(hits) <= hitsDuring {
+		t.Fatal("no request reached server after heal")
+	}
+}
+
+func TestProxyPartitionKillsLiveConns(t *testing.T) {
+	// A server that writes slowly so the connection is mid-flight when cut.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		for i := 0; i < 100; i++ {
+			io.WriteString(w, strings.Repeat("a", 128))
+			w.(http.Flusher).Flush()
+			time.Sleep(20 * time.Millisecond)
+		}
+	}))
+	defer srv.Close()
+	u, _ := url.Parse(srv.URL)
+
+	px, err := NewProxy(u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + px.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		px.Partition()
+	}()
+	start := time.Now()
+	_, err = io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("read survived a partition")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("partition did not sever live conn promptly: %v", elapsed)
+	}
+}

@@ -1,0 +1,152 @@
+package chaosnet
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP relay placed in front of a real listener so subprocess
+// tests can partition a peer they do not share an address space with: the
+// coordinator dials the proxy's address instead of the worker's, and the
+// test cuts or heals the link from outside both processes.
+//
+// Partitioning never closes the listening socket — the port must survive a
+// Heal, because the peers have already exchanged the proxied address and a
+// new port would be a different failure (address change) than the one under
+// test (link cut). While partitioned, new connections are accepted and
+// immediately closed (a RST-like refusal) and existing relays are severed.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewProxy starts a relay on an ephemeral localhost port toward target
+// ("host:port").
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address peers should dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition severs the link: existing relayed connections are killed and
+// new ones are refused, while the listening port stays reserved for Heal.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// Heal restores the link on the same port.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// SetDelay imposes a fixed per-connection setup latency (0 to clear).
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down for good.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed || p.partitioned {
+			p.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		delay := p.delay
+		p.mu.Unlock()
+		go p.relay(conn, delay)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn, delay time.Duration) {
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.closed || p.partitioned {
+		p.mu.Unlock()
+		client.Close()
+		server.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	go pipe(server, client, done)
+	go pipe(client, server, done)
+	<-done
+	<-done
+
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+	client.Close()
+	server.Close()
+}
+
+func pipe(dst, src net.Conn, done chan<- struct{}) {
+	io.Copy(dst, src)
+	// Half-close toward dst so the peer sees EOF even while the other
+	// direction is still draining.
+	if tc, ok := dst.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	done <- struct{}{}
+}

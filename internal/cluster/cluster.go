@@ -24,6 +24,20 @@
 //   - Per-sub-job retry budgets bound the damage of a poisoned point: an
 //     exhausted budget fails the job attempt, feeding the serve layer's
 //     existing retry/quarantine machinery.
+//   - Per-worker circuit breakers (breaker.go) score dispatch health by
+//     consecutive failures and a latency EWMA; an open breaker takes the
+//     worker out of the pick pool until a half-open probe succeeds, so a
+//     partitioned or trickling worker stops absorbing retry budget.
+//   - Hedged dispatch: when a sub-job call outlives the straggler quantile
+//     of observed sub-job latency, a second copy is speculatively dispatched
+//     to a different worker; whichever answers first wins the fold and the
+//     loser is discarded by the same first-terminal-write-wins rule that
+//     already handles expired-lease duplicates.
+//   - Graceful degradation: when no live worker's breaker admits traffic
+//     (partition storm, empty roster), the coordinator runs sub-jobs locally
+//     through sweep.RunSubjob — an accepted job can never fail because the
+//     fleet vanished. The condition surfaces as /healthz "degraded" and a
+//     fleet_degraded gauge, and clears when a remote dispatch succeeds.
 //
 // The coordinator plugs into the daemon as serve.Config.RunJob; everything
 // above it (queueing, dedup, the WAL, the result cache, checkpoints) is
@@ -33,9 +47,12 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -63,6 +80,35 @@ type CoordinatorConfig struct {
 	SubjobRetries int
 	// MaxInflight bounds concurrently leased sub-jobs. Default 16.
 	MaxInflight int
+	// SubjobTimeout is the hard deadline on one sub-job HTTP call — the
+	// backstop that reclaims goroutines stuck on a partitioned worker whose
+	// connection neither answers nor resets. Default 20x LeaseTTL (a lease
+	// expiry re-dispatches long before this fires; the late original may
+	// still fold via duplicate-discard). Must be at least Heartbeat: a call
+	// timeout shorter than the liveness cadence would declare every worker
+	// broken before it could ever prove otherwise.
+	SubjobTimeout time.Duration
+	// DegradeAfter is how long pickWorker waits for an eligible worker (live
+	// and breaker-admitted) before the coordinator gives up on the fleet and
+	// runs the sub-job locally. Default max(2x WorkerExpiry, 5s) — generous
+	// enough to ride out a coordinator restart's rejoin window without
+	// spuriously degrading. Once degraded, further picks fail fast so the
+	// job drains locally instead of waiting DegradeAfter per sub-job.
+	DegradeAfter time.Duration
+	// HedgeQuantile is the straggler quantile of observed sub-job call
+	// latency at which a second, hedged copy of an outstanding sub-job is
+	// dispatched to a different worker. Default 0.95. Hedging waits for at
+	// least hedgeMinSamples observations and never fires below hedgeMinDelay
+	// or at/above LeaseTTL (lease expiry already covers that regime).
+	HedgeQuantile float64
+	// HedgeDisabled turns speculative re-dispatch off.
+	HedgeDisabled bool
+	// BreakerThreshold is the consecutive hard-failure (or slow-strike)
+	// count that opens a worker's circuit breaker. Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker blocks dispatch before
+	// admitting one half-open probe. Default 5s.
+	BreakerCooldown time.Duration
 	// JournalPath persists the lease journal; empty disables lease
 	// re-adoption across coordinator restarts (leases live in memory only).
 	JournalPath string
@@ -78,6 +124,9 @@ type CoordinatorConfig struct {
 	engine string
 	// now is the clock, overridable only by tests.
 	now func() time.Time
+	// transport replaces the sub-job HTTP transport; only tests set it (the
+	// chaosnet fault injector plugs in here).
+	transport http.RoundTripper
 }
 
 // workerState is the coordinator's view of one registered worker.
@@ -108,12 +157,33 @@ type Coordinator struct {
 	hc  *http.Client
 	jnl *fleetJournal
 
-	mu      sync.Mutex
-	seq     int
-	workers map[string]*workerState // by id
-	adopted map[string]string       // leaseKey -> worker addr, from journal replay
-	rnd     *rand.Rand
+	mu       sync.Mutex
+	seq      int
+	workers  map[string]*workerState // by id
+	adopted  map[string]string       // leaseKey -> worker addr, from journal replay
+	rnd      *rand.Rand
+	breakers map[string]*breaker // by worker addr — survives re-registration
+	degraded bool                // fleet abandoned; sub-jobs run locally
+
+	// latMu guards the ring of recent successful sub-job call latencies
+	// (milliseconds) that hedged dispatch derives its straggler quantile
+	// from.
+	latMu sync.Mutex
+	lat   [latRingSize]float64
+	latN  int
 }
+
+const (
+	// latRingSize bounds the latency observations kept for the hedge
+	// quantile.
+	latRingSize = 128
+	// hedgeMinSamples is how many observations hedging needs before it
+	// trusts the quantile.
+	hedgeMinSamples = 8
+	// hedgeMinDelay floors the hedge delay: hedging sub-millisecond calls
+	// would double traffic for no tail to cut.
+	hedgeMinDelay = 25 * time.Millisecond
+)
 
 // NewCoordinator opens (and replays) the lease journal and builds the
 // coordinator. Close releases the journal.
@@ -133,6 +203,27 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 16
 	}
+	if cfg.SubjobTimeout == 0 {
+		cfg.SubjobTimeout = 20 * cfg.LeaseTTL
+	}
+	if cfg.SubjobTimeout < cfg.Heartbeat {
+		return nil, fmt.Errorf("cluster: subjob timeout %v below heartbeat interval %v", cfg.SubjobTimeout, cfg.Heartbeat)
+	}
+	if cfg.DegradeAfter <= 0 {
+		cfg.DegradeAfter = 2 * cfg.WorkerExpiry
+		if cfg.DegradeAfter < 5*time.Second {
+			cfg.DegradeAfter = 5 * time.Second
+		}
+	}
+	if cfg.HedgeQuantile <= 0 || cfg.HedgeQuantile >= 1 {
+		cfg.HedgeQuantile = 0.95
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = &obs.MetricSet{}
 	}
@@ -142,12 +233,24 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	// Register the chaos/robustness counters at zero so harnesses (psload
+	// reconciliation, smoke scripts) can read them unconditionally.
+	for _, name := range []string{
+		"chaos_hedges_total", "hedge_wins", "breaker_open_total",
+		"subjobs_local", "cluster_reps_local",
+		"cluster_reps_folded", "cluster_reps_expected",
+		"subjob_duplicates",
+	} {
+		cfg.Metrics.Add(name, 0)
+	}
+	cfg.Metrics.Set("fleet_degraded", 0)
 	c := &Coordinator{
-		cfg:     cfg,
-		hc:      &http.Client{}, // per-request timeouts via context
-		workers: make(map[string]*workerState),
-		adopted: make(map[string]string),
-		rnd:     rand.New(rand.NewSource(cfg.now().UnixNano())),
+		cfg:      cfg,
+		hc:       &http.Client{Transport: cfg.transport}, // per-request timeouts via context
+		workers:  make(map[string]*workerState),
+		adopted:  make(map[string]string),
+		rnd:      rand.New(rand.NewSource(cfg.now().UnixNano())),
+		breakers: make(map[string]*breaker),
 	}
 	if cfg.JournalPath != "" {
 		jnl, adopted, skipped, err := openFleetJournal(cfg.JournalPath, cfg.engine, cfg.Logf)
@@ -258,12 +361,16 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 	c.mu.Lock()
 	infos := make([]WorkerInfo, 0, len(c.workers))
 	for _, ws := range c.workers {
+		state, fails, ewmaMs := c.breakerLocked(ws.addr).view()
 		ws.mu.Lock()
 		infos = append(infos, WorkerInfo{
 			ID: ws.id, Name: ws.name, Addr: ws.addr, Slots: ws.slots,
 			Depth: ws.depth, Leases: ws.leases,
 			Alive:             now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry,
 			LastSeenMillisAgo: now.Sub(ws.lastSeen).Milliseconds(),
+			Breaker:           state,
+			BreakerFails:      fails,
+			LatencyEWMAMillis: ewmaMs,
 		})
 		ws.mu.Unlock()
 	}
@@ -291,64 +398,122 @@ func (c *Coordinator) aliveLocked() int {
 	return n
 }
 
-// pickWorker chooses a live worker by power-of-two-choices over load
-// (reported depth + outstanding leases), granting it one lease. prefer, when
-// non-empty, names the adopted worker address to pin the first re-dispatch
-// of a recovered lease to; avoid is the address of the worker whose attempt
-// just failed or expired (honored only when an alternative exists). Blocks
-// while the roster has no live workers, until ctx is done.
+// errNoEligible reports that no live worker's breaker admits traffic and
+// the DegradeAfter grace has elapsed: the caller should run the sub-job
+// locally instead of failing the job.
+var errNoEligible = errors.New("cluster: no eligible workers; degrading to local execution")
+
+// breakerLocked returns (creating on first use) the breaker for a worker
+// address. c.mu must be held.
+func (c *Coordinator) breakerLocked(addr string) *breaker {
+	b := c.breakers[addr]
+	if b == nil {
+		b = newBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// pickLocked chooses a worker among the live, breaker-admitted roster by
+// power-of-two-choices over load (reported depth + outstanding leases),
+// granting it one lease; nil when none is eligible. c.mu must be held.
+//
+// Workers with closed breakers are preferred; half-open workers are probed
+// only when no closed-breaker worker exists (a probe carries a real
+// sub-job, so routing one there when healthy peers exist trades latency for
+// nothing). prefer pins the adopted worker for a recovered lease; avoid
+// skips the worker whose attempt just failed (honored only when an
+// alternative exists) — with strict set, avoid is absolute, which is what a
+// hedge needs: a hedge to the straggler itself is not a hedge.
+func (c *Coordinator) pickLocked(prefer, avoid string, strict bool) *workerState {
+	now := c.cfg.now()
+	var closed, probes []*workerState
+	for _, ws := range c.workers {
+		ws.mu.Lock()
+		alive := now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry
+		ws.mu.Unlock()
+		if !alive || (strict && ws.addr == avoid) {
+			continue
+		}
+		switch c.breakerLocked(ws.addr).gate(now) {
+		case gateClosed:
+			closed = append(closed, ws)
+		case gateProbe:
+			probes = append(probes, ws)
+		}
+	}
+	var pick *workerState
+	probe := false
+	// Pin to the adopted worker when it is still eligible.
+	if prefer != "" {
+		for _, ws := range closed {
+			if ws.addr == prefer {
+				pick = ws
+			}
+		}
+		if pick == nil {
+			for _, ws := range probes {
+				if ws.addr == prefer {
+					pick, probe = ws, true
+				}
+			}
+		}
+	}
+	if pick == nil {
+		candidates := closed
+		if avoid != "" && !strict && len(candidates) > 1 {
+			trimmed := make([]*workerState, 0, len(candidates)-1)
+			for _, ws := range candidates {
+				if ws.addr != avoid {
+					trimmed = append(trimmed, ws)
+				}
+			}
+			if len(trimmed) > 0 {
+				candidates = trimmed
+			}
+		}
+		if len(candidates) == 0 && len(probes) > 0 {
+			candidates, probe = probes, true
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+		// Two choices, keep the less loaded: exponentially better balance
+		// than one choice, no global scan contention.
+		pick = candidates[c.rnd.Intn(len(candidates))]
+		if len(candidates) > 1 {
+			other := candidates[c.rnd.Intn(len(candidates))]
+			if other.load() < pick.load() {
+				pick = other
+			}
+		}
+	}
+	if probe {
+		c.breakerLocked(pick.addr).beginProbe()
+	}
+	pick.mu.Lock()
+	pick.leases++
+	pick.mu.Unlock()
+	return pick
+}
+
+// pickWorker waits for an eligible worker (live, breaker-admitted), up to
+// the DegradeAfter grace, then reports errNoEligible so the caller falls
+// back to local execution. Once the coordinator is degraded, picks that
+// find no eligible worker fail fast: the first sub-job paid the grace; the
+// rest of the job drains locally without re-paying it.
 func (c *Coordinator) pickWorker(ctx context.Context, prefer, avoid string) (*workerState, error) {
+	deadline := c.cfg.now().Add(c.cfg.DegradeAfter)
 	for {
-		now := c.cfg.now()
 		c.mu.Lock()
-		var alive []*workerState
-		for _, ws := range c.workers {
-			ws.mu.Lock()
-			ok := now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry
-			ws.mu.Unlock()
-			if ok {
-				alive = append(alive, ws)
-			}
-		}
-		var pick *workerState
-		if len(alive) > 0 {
-			// Pin to the adopted worker when it is still alive.
-			for _, ws := range alive {
-				if prefer != "" && ws.addr == prefer {
-					pick = ws
-					break
-				}
-			}
-			if pick == nil {
-				candidates := alive
-				if avoid != "" && len(alive) > 1 {
-					candidates = make([]*workerState, 0, len(alive)-1)
-					for _, ws := range alive {
-						if ws.addr != avoid {
-							candidates = append(candidates, ws)
-						}
-					}
-					if len(candidates) == 0 {
-						candidates = alive
-					}
-				}
-				// Two choices, keep the less loaded: exponentially better
-				// balance than one choice, no global scan contention.
-				pick = candidates[c.rnd.Intn(len(candidates))]
-				if len(candidates) > 1 {
-					other := candidates[c.rnd.Intn(len(candidates))]
-					if other.load() < pick.load() {
-						pick = other
-					}
-				}
-			}
-			pick.mu.Lock()
-			pick.leases++
-			pick.mu.Unlock()
-		}
+		pick := c.pickLocked(prefer, avoid, false)
+		degraded := c.degraded
 		c.mu.Unlock()
 		if pick != nil {
 			return pick, nil
+		}
+		if degraded || !c.cfg.now().Before(deadline) {
+			return nil, errNoEligible
 		}
 		select {
 		case <-time.After(100 * time.Millisecond):
@@ -356,6 +521,104 @@ func (c *Coordinator) pickWorker(ctx context.Context, prefer, avoid string) (*wo
 			return nil, fmt.Errorf("cluster: no live workers: %w", ctx.Err())
 		}
 	}
+}
+
+// tryPickWorker is the non-blocking pick a hedge uses: an eligible worker
+// other than strictAvoid right now, or nil.
+func (c *Coordinator) tryPickWorker(strictAvoid string) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pickLocked("", strictAvoid, true)
+}
+
+// noteSuccess records a successful sub-job call: breaker credit, a latency
+// observation for the hedge quantile, and — because a remote dispatch just
+// worked — the end of any degradation.
+func (c *Coordinator) noteSuccess(ws *workerState, took time.Duration) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	c.breakerLocked(ws.addr).success(now, took)
+	wasDegraded := c.degraded
+	c.degraded = false
+	c.mu.Unlock()
+	if wasDegraded {
+		c.cfg.Metrics.Set("fleet_degraded", 0)
+		c.logf("cluster: fleet healed; sub-job served remotely by %s", ws.addr)
+	}
+	c.latMu.Lock()
+	c.lat[c.latN%latRingSize] = float64(took) / float64(time.Millisecond)
+	c.latN++
+	c.latMu.Unlock()
+}
+
+// noteFailure records a hard failure against a worker's breaker.
+func (c *Coordinator) noteFailure(ws *workerState) {
+	now := c.cfg.now()
+	c.mu.Lock()
+	opened := c.breakerLocked(ws.addr).failure(now)
+	c.mu.Unlock()
+	if opened {
+		c.cfg.Metrics.Add("breaker_open_total", 1)
+		c.logf("cluster: breaker opened for worker %s", ws.addr)
+	}
+}
+
+// anyEligibleLocked reports whether any live worker's breaker admits at
+// least a probe. c.mu must be held.
+func (c *Coordinator) anyEligibleLocked(now time.Time) bool {
+	for _, ws := range c.workers {
+		ws.mu.Lock()
+		alive := now.Sub(ws.lastSeen) <= c.cfg.WorkerExpiry
+		ws.mu.Unlock()
+		if alive && c.breakerLocked(ws.addr).gate(now) != gateBlocked {
+			return true
+		}
+	}
+	return false
+}
+
+// Degraded reports whether the coordinator is running sub-jobs locally with
+// still no eligible worker in sight — the /healthz "degraded" condition. A
+// live worker whose breaker admits at least a probe counts as eligible, so
+// a healing fleet un-degrades without waiting for traffic.
+func (c *Coordinator) Degraded() bool {
+	now := c.cfg.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded && !c.anyEligibleLocked(now)
+}
+
+// hedgeDelay derives the straggler threshold from observed successful call
+// latencies: the configured quantile over the ring, floored at
+// hedgeMinDelay. Zero disables hedging for this dispatch (too few samples,
+// or the quantile has grown into lease-expiry territory, which already
+// re-dispatches).
+func (c *Coordinator) hedgeDelay() time.Duration {
+	c.latMu.Lock()
+	n := c.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if c.latN < hedgeMinSamples {
+		c.latMu.Unlock()
+		return 0
+	}
+	obs := make([]float64, n)
+	copy(obs, c.lat[:n])
+	c.latMu.Unlock()
+	sort.Float64s(obs)
+	idx := int(c.cfg.HedgeQuantile * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	d := time.Duration(obs[idx] * float64(time.Millisecond))
+	if d < hedgeMinDelay {
+		d = hedgeMinDelay
+	}
+	if d >= c.cfg.LeaseTTL {
+		return 0
+	}
+	return d
 }
 
 // releaseLease returns a lease granted by pickWorker.
@@ -393,9 +656,11 @@ func expectedKeys(sj sweep.Subjob) map[sweep.RepKey]bool {
 	return want
 }
 
-// deliver folds one sub-job's records. It reports whether this delivery won
-// (false for duplicates and malformed record sets).
-func (g *gather) deliver(sj sweep.Subjob, key string, recs []sweep.RepRecord, cached bool) bool {
+// recordsMatch reports whether recs is exactly the record set sj must
+// deliver: one record per replication, no extras, no strays. This is the
+// fold's last line of defense against corrupt-but-decodable responses, so
+// it is fuzzed (FuzzWireDecode) alongside the wire decoding itself.
+func recordsMatch(sj sweep.Subjob, recs []sweep.RepRecord) bool {
 	want := expectedKeys(sj)
 	if len(recs) != len(want) {
 		return false
@@ -405,6 +670,15 @@ func (g *gather) deliver(sj sweep.Subjob, key string, recs []sweep.RepRecord, ca
 			return false
 		}
 		delete(want, rec.Key())
+	}
+	return true
+}
+
+// deliver folds one sub-job's records. It reports whether this delivery won
+// (false for duplicates and malformed record sets).
+func (g *gather) deliver(sj sweep.Subjob, key string, recs []sweep.RepRecord, cached bool) bool {
+	if !recordsMatch(sj, recs) {
+		return false
 	}
 
 	g.mu.Lock()
@@ -572,23 +846,94 @@ func (c *Coordinator) RunJob(exp *sweep.Experiment) (*sweep.Result, error) {
 	}
 	g.mu.Lock()
 	ckptErr := g.ckptErr
+	folded := g.reps
 	g.mu.Unlock()
 	if ckptErr != nil {
 		return nil, fmt.Errorf("cluster: writing checkpoint: %w", ckptErr)
 	}
+	// Fold accounting for the load harness: folded must equal expected on
+	// every completed job, or a duplicate slipped past first-write-wins
+	// (double-fold) or a record set went missing.
+	c.cfg.Metrics.Add("cluster_reps_folded", int64(folded))
+	c.cfg.Metrics.Add("cluster_reps_expected", int64(total))
 	return exp.Assemble(records, resumed, time.Since(start)), nil
 }
 
-// postResult is one sub-job call's outcome.
-type postResult struct {
-	resp SubjobResponse
-	err  error
+// callOutcome is one sub-job call's result.
+type callOutcome struct {
+	ws    *workerState
+	resp  SubjobResponse
+	err   error
+	took  time.Duration
+	hedge bool
+}
+
+// startCall posts one sub-job to a worker in the background under the
+// configured SubjobTimeout, reporting on ch. The returned cancel releases
+// the call's context resources (and aborts the call if still in flight); a
+// lease expiry deliberately does not call it, so a slow-but-alive worker
+// still completes the sub-job and folds via duplicate-discard.
+func (c *Coordinator) startCall(fp string, specJSON []byte, sj sweep.Subjob, key string, ws *workerState, hedge bool, ch chan<- callOutcome) context.CancelFunc {
+	callCtx, cancel := context.WithTimeout(context.Background(), c.cfg.SubjobTimeout)
+	go func() {
+		start := time.Now()
+		var resp SubjobResponse
+		err := postJSON(callCtx, c.hc, baseURL(ws.addr)+"/v1/cluster/subjob", SubjobRequest{
+			Fingerprint: fp, Spec: specJSON, Key: key, Subjob: sj,
+		}, &resp)
+		ch <- callOutcome{ws: ws, resp: resp, err: err, took: time.Since(start), hedge: hedge}
+	}()
+	return cancel
+}
+
+// drainCalls consumes outstanding call results in the background after the
+// supervisor has moved on (a sibling won, the lease expired, the job was
+// torn down): leases are returned, a late success still folds via
+// duplicate-discard, and breaker accounting still happens — a partitioned
+// worker's eventual timeout must open its breaker even when the sub-job
+// already completed elsewhere. abort cancels the calls up front (job
+// teardown); otherwise they run to their own SubjobTimeout.
+func (c *Coordinator) drainCalls(g *gather, sj sweep.Subjob, key string, ch <-chan callOutcome, pending int, cancels []context.CancelFunc, abort bool) {
+	if abort {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}
+	if pending <= 0 {
+		for _, cancel := range cancels {
+			cancel()
+		}
+		return
+	}
+	go func() {
+		for i := 0; i < pending; i++ {
+			res := <-ch
+			c.releaseLease(res.ws)
+			switch {
+			case res.err == nil:
+				c.noteSuccess(res.ws, res.took)
+				if g.deliver(sj, key, res.resp.Records, res.resp.Cached) && res.hedge {
+					c.cfg.Metrics.Add("hedge_wins", 1)
+				}
+			case errors.Is(res.err, context.Canceled):
+				// our own teardown, not the worker's fault
+			default:
+				c.noteFailure(res.ws)
+			}
+		}
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
 }
 
 // superviseSubjob drives one sub-job to completion: lease a worker, post
-// the call, and either fold the result or — on lease expiry or worker
-// failure — re-dispatch to a different worker while the original call keeps
-// running (its late result, if any, hits the duplicate-discard path).
+// the call, hedge it to a second worker if it outlives the straggler
+// quantile, and either fold a result or — on lease expiry or worker
+// failure — re-dispatch to a different worker while earlier calls keep
+// running (their late results hit the duplicate-discard path). When no
+// eligible worker remains, the sub-job runs locally: the job outlives the
+// fleet.
 func (c *Coordinator) superviseSubjob(ctx context.Context, g *gather, specJSON []byte, sj sweep.Subjob) error {
 	key := sj.Key()
 	prefer := c.adoptedAddr(g.fp, key)
@@ -600,78 +945,180 @@ func (c *Coordinator) superviseSubjob(ctx context.Context, g *gather, specJSON [
 		}
 		ws, err := c.pickWorker(ctx, prefer, avoid)
 		prefer = ""
+		if errors.Is(err, errNoEligible) {
+			return c.runLocal(ctx, g, specJSON, sj, key)
+		}
 		if err != nil {
 			return err
 		}
 		c.journalLease(fleetRecord{Op: fleetOpGrant, FP: g.fp, Key: key, Addr: ws.addr, Attempt: attempt})
 		c.cfg.Metrics.Add("subjobs_dispatched", 1)
 
-		// The call gets its own generous deadline, far past the lease: a
-		// lease expiry re-dispatches but deliberately does not abort the
-		// call, so a slow-but-alive worker still completes the sub-job.
-		callCtx, cancelCall := context.WithTimeout(context.Background(), 20*c.cfg.LeaseTTL)
-		resCh := make(chan postResult, 1)
-		go func() {
-			var resp SubjobResponse
-			err := postJSON(callCtx, c.hc, baseURL(ws.addr)+"/v1/cluster/subjob", SubjobRequest{
-				Fingerprint: g.fp, Spec: specJSON, Key: key, Subjob: sj,
-			}, &resp)
-			resCh <- postResult{resp: resp, err: err}
-		}()
-
-		lease := time.NewTimer(c.cfg.LeaseTTL)
-		select {
-		case res := <-resCh:
-			lease.Stop()
-			cancelCall()
-			c.releaseLease(ws)
-			if res.err == nil {
-				if g.deliver(sj, key, res.resp.Records, res.resp.Cached) || g.isDone(key) {
-					return nil
-				}
-				res.err = fmt.Errorf("cluster: worker %s returned a malformed record set for %s", ws.addr, key)
+		resCh := make(chan callOutcome, 2)
+		cancels := []context.CancelFunc{c.startCall(g.fp, specJSON, sj, key, ws, false, resCh)}
+		pending := 1
+		var hedgeTimer *time.Timer
+		var hedgeC <-chan time.Time
+		if !c.cfg.HedgeDisabled {
+			if d := c.hedgeDelay(); d > 0 {
+				hedgeTimer = time.NewTimer(d)
+				hedgeC = hedgeTimer.C
 			}
-			c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
-			lastErr = res.err
-			avoid = ws.addr
-			c.cfg.Metrics.Add("subjobs_redispatched", 1)
-			c.logf("cluster: sub-job %s attempt %d on %s failed: %v", key, attempt, ws.addr, res.err)
-
-		case <-lease.C:
-			// Lease expired: journal it, leave the call running, and hand
-			// the sub-job to another worker. Whichever result lands first
-			// wins; the loser is discarded and counted.
-			c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
-			c.cfg.Metrics.Add("leases_expired", 1)
-			c.cfg.Metrics.Add("subjobs_redispatched", 1)
-			c.logf("cluster: lease on sub-job %s expired at %s (attempt %d); re-dispatching", key, ws.addr, attempt)
-			go func() {
-				res := <-resCh
-				cancelCall()
-				c.releaseLease(ws)
-				if res.err == nil {
-					g.deliver(sj, key, res.resp.Records, res.resp.Cached)
-				}
-			}()
-			lastErr = fmt.Errorf("cluster: lease expired on %s", ws.addr)
-			avoid = ws.addr
-
-		case <-ctx.Done():
+		}
+		lease := time.NewTimer(c.cfg.LeaseTTL)
+		stopTimers := func() {
 			lease.Stop()
-			cancelCall()
-			c.releaseLease(ws)
-			return ctx.Err()
+			if hedgeTimer != nil {
+				hedgeTimer.Stop()
+			}
+		}
+
+		next := false // this attempt is spent; re-dispatch
+		for !next {
+			select {
+			case res := <-resCh:
+				pending--
+				c.releaseLease(res.ws)
+				if res.err == nil {
+					won := g.deliver(sj, key, res.resp.Records, res.resp.Cached)
+					if won || g.isDone(key) {
+						c.noteSuccess(res.ws, res.took)
+						if won && res.hedge {
+							c.cfg.Metrics.Add("hedge_wins", 1)
+						}
+						stopTimers()
+						c.drainCalls(g, sj, key, resCh, pending, cancels, false)
+						return nil
+					}
+					// Decodable but wrong record set: a corrupt response
+					// that survived JSON framing. Score it as a failure.
+					res.err = fmt.Errorf("cluster: worker %s returned a malformed record set for %s", res.ws.addr, key)
+				}
+				c.noteFailure(res.ws)
+				lastErr = res.err
+				avoid = res.ws.addr
+				c.logf("cluster: sub-job %s attempt %d on %s failed: %v", key, attempt, res.ws.addr, res.err)
+				if pending > 0 {
+					continue // a hedge (or the primary) is still in flight; give it its chance
+				}
+				stopTimers()
+				c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
+				c.cfg.Metrics.Add("subjobs_redispatched", 1)
+				next = true
+
+			case <-hedgeC:
+				hedgeC = nil
+				hws := c.tryPickWorker(ws.addr)
+				if hws == nil {
+					continue // nobody to hedge to; the lease still guards us
+				}
+				c.cfg.Metrics.Add("chaos_hedges_total", 1)
+				c.journalLease(fleetRecord{Op: fleetOpGrant, FP: g.fp, Key: key, Addr: hws.addr, Attempt: attempt})
+				c.logf("cluster: hedging sub-job %s to %s (straggler on %s)", key, hws.addr, ws.addr)
+				cancels = append(cancels, c.startCall(g.fp, specJSON, sj, key, hws, true, resCh))
+				pending++
+
+			case <-lease.C:
+				// Lease expired: journal it, leave the calls running, and
+				// hand the sub-job to another worker. Whichever result lands
+				// first wins; losers are discarded and counted.
+				stopTimers()
+				c.journalLease(fleetRecord{Op: fleetOpExpire, FP: g.fp, Key: key, Attempt: attempt})
+				c.cfg.Metrics.Add("leases_expired", 1)
+				c.cfg.Metrics.Add("subjobs_redispatched", 1)
+				c.logf("cluster: lease on sub-job %s expired at %s (attempt %d); re-dispatching", key, ws.addr, attempt)
+				c.drainCalls(g, sj, key, resCh, pending, cancels, false)
+				lastErr = fmt.Errorf("cluster: lease expired on %s", ws.addr)
+				avoid = ws.addr
+				next = true
+
+			case <-ctx.Done():
+				stopTimers()
+				c.drainCalls(g, sj, key, resCh, pending, cancels, true)
+				return ctx.Err()
+			}
 		}
 	}
 	if g.isDone(key) {
 		return nil
 	}
+	// An exhausted dispatch budget usually means the failures were the
+	// fleet's, not this sub-job's: a partition storm eats retries faster
+	// than breakers open, so an instant eligibility snapshot here can still
+	// see a worker one failure short of its threshold. Give the breakers
+	// the same DegradeAfter grace pickWorker grants, and degrade to local
+	// execution the moment the fleet goes fully ineligible instead of
+	// failing an accepted job.
+	deadline := c.cfg.now().Add(c.cfg.DegradeAfter)
+	for {
+		if g.isDone(key) {
+			return nil
+		}
+		c.mu.Lock()
+		degraded := c.degraded
+		eligible := c.anyEligibleLocked(c.cfg.now())
+		c.mu.Unlock()
+		if degraded || !eligible {
+			return c.runLocal(ctx, g, specJSON, sj, key)
+		}
+		if !c.cfg.now().Before(deadline) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
 	return fmt.Errorf("cluster: sub-job %s failed %d dispatch attempt(s): %w", key, c.cfg.SubjobRetries, lastErr)
 }
 
-// decodeBody decodes a JSON request body.
+// runLocal executes a sub-job on the coordinator itself — the bottom of the
+// degradation ladder, reached when every breaker is open or the roster is
+// empty. The accepted job's contract survives the fleet vanishing: the
+// records are identical to a worker's because both sides decode the same
+// canonical spec and run the same sweep.RunSubjob.
+func (c *Coordinator) runLocal(ctx context.Context, g *gather, specJSON []byte, sj sweep.Subjob, key string) error {
+	if g.isDone(key) {
+		return nil
+	}
+	c.mu.Lock()
+	first := !c.degraded
+	c.degraded = true
+	c.mu.Unlock()
+	c.cfg.Metrics.Set("fleet_degraded", 1)
+	if first {
+		c.logf("cluster: no eligible workers; running sub-jobs locally")
+	}
+	c.journalLease(fleetRecord{Op: fleetOpGrant, FP: g.fp, Key: key, Addr: "local", Attempt: 1})
+	exp, err := spec.Decode(specJSON)
+	if err == nil {
+		err = spec.Stamp(exp)
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: decoding spec for local run: %w", err)
+	}
+	exp.Context = ctx
+	recs, err := exp.RunSubjob(sj)
+	if err != nil {
+		return fmt.Errorf("cluster: local sub-job %s: %w", key, err)
+	}
+	c.cfg.Metrics.Add("subjobs_local", 1)
+	c.cfg.Metrics.Add("cluster_reps_local", int64(len(recs)))
+	if !g.deliver(sj, key, recs, false) && !g.isDone(key) {
+		return fmt.Errorf("cluster: local sub-job %s produced a malformed record set", key)
+	}
+	return nil
+}
+
+// maxWireBody bounds any single wire-protocol request body: large enough
+// for the biggest legitimate sub-job payload by orders of magnitude, small
+// enough that a corrupt length or hostile peer cannot balloon memory.
+const maxWireBody = 64 << 20
+
+// decodeBody decodes a JSON request body, bounded at maxWireBody.
 func decodeBody(r *http.Request, v any) error {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxWireBody)).Decode(v); err != nil {
 		return fmt.Errorf("decoding request: %v", err)
 	}
 	return nil

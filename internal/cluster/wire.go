@@ -69,6 +69,14 @@ type WorkerInfo struct {
 	// LastSeenMillisAgo is how long ago the last heartbeat (or join)
 	// arrived.
 	LastSeenMillisAgo int64 `json:"lastSeenMillisAgo"`
+	// Breaker is the dispatch circuit-breaker state for this worker's
+	// address: "closed", "open", or "half-open".
+	Breaker string `json:"breaker,omitempty"`
+	// BreakerFails is the current consecutive hard-failure streak.
+	BreakerFails int `json:"breakerFails,omitempty"`
+	// LatencyEWMAMillis is the breaker's EWMA of successful sub-job call
+	// latency toward this worker, in milliseconds (0 until observed).
+	LatencyEWMAMillis float64 `json:"latencyEwmaMillis,omitempty"`
 }
 
 // WorkersResponse is the fleet roster.

@@ -15,9 +15,9 @@ package cluster
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -97,8 +97,7 @@ func (w *Worker) cachedRecords(k string) ([]sweep.RepRecord, bool) {
 
 func (w *Worker) handleSubjob(rw http.ResponseWriter, r *http.Request) {
 	var req SubjobRequest
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeBody(r, &req); err != nil {
 		writeJSON(rw, http.StatusBadRequest, errorDoc{Error: fmt.Sprintf("decoding sub-job: %v", err)})
 		return
 	}
@@ -187,6 +186,12 @@ type AgentConfig struct {
 	Depth func() int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+
+	// sleep waits for a duration or the context, reporting false when the
+	// context won; a test hook standing in for the clock.
+	sleep func(ctx context.Context, d time.Duration) bool
+	// rnd feeds the backoff jitter; seeded per agent, overridable by tests.
+	rnd *rand.Rand
 }
 
 // Agent keeps a worker registered with its coordinator: join (with retry),
@@ -201,6 +206,19 @@ type Agent struct {
 
 // StartAgent launches the registration loop in the background.
 func StartAgent(cfg AgentConfig) *Agent {
+	if cfg.sleep == nil {
+		cfg.sleep = func(ctx context.Context, d time.Duration) bool {
+			select {
+			case <-time.After(d):
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+	}
+	if cfg.rnd == nil {
+		cfg.rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	a := &Agent{
 		cfg:    cfg,
@@ -225,29 +243,48 @@ func (a *Agent) logf(format string, args ...any) {
 	}
 }
 
+// joinBackoffBase and joinBackoffCap bound the join retry cadence.
+const (
+	joinBackoffBase = 200 * time.Millisecond
+	joinBackoffCap  = 2 * time.Second
+)
+
+// jitteredBackoff returns the randomized delay for the current backoff step
+// and the grown next step: delay uniform in [0.5, 1.5) x cur, growth
+// doubling capped at joinBackoffCap. The jitter is what prevents a rejoin
+// stampede when a partition heals: every cut-off worker noticed the outage
+// within the same heartbeat window, so un-jittered retries would land on
+// the coordinator in synchronized waves forever (the backoff grows in
+// lockstep too).
+func jitteredBackoff(cur time.Duration, rnd *rand.Rand) (delay, next time.Duration) {
+	delay = time.Duration(float64(cur) * (0.5 + rnd.Float64()))
+	next = cur * 2
+	if next > joinBackoffCap {
+		next = joinBackoffCap
+	}
+	return delay, next
+}
+
 // loop joins, heartbeats, and rejoins until canceled.
 func (a *Agent) loop(ctx context.Context) {
 	defer close(a.done)
 	base := baseURL(a.cfg.Coordinator)
-	backoff := 200 * time.Millisecond
+	backoff := joinBackoffBase
 	for ctx.Err() == nil {
 		var jr JoinResponse
 		err := postJSON(ctx, a.hc, base+"/v1/cluster/join", JoinRequest{
 			Name: a.cfg.Name, Addr: a.cfg.Advertise, Slots: a.cfg.Slots,
 		}, &jr)
 		if err != nil {
-			a.logf("cluster: join %s: %v (retrying in %v)", base, err, backoff)
-			select {
-			case <-time.After(backoff):
-			case <-ctx.Done():
+			delay, next := jitteredBackoff(backoff, a.cfg.rnd)
+			a.logf("cluster: join %s: %v (retrying in %v)", base, err, delay)
+			if !a.cfg.sleep(ctx, delay) {
 				return
 			}
-			if backoff *= 2; backoff > 2*time.Second {
-				backoff = 2 * time.Second
-			}
+			backoff = next
 			continue
 		}
-		backoff = 200 * time.Millisecond
+		backoff = joinBackoffBase
 		a.logf("cluster: joined %s as %s", base, jr.ID)
 		every := time.Duration(jr.HeartbeatMillis) * time.Millisecond
 		if every <= 0 {

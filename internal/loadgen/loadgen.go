@@ -288,7 +288,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		Record:      f.buildRecord(merged, elapsed),
 		ServerDelta: counterDelta(before, after),
 	}
-	rep.Failures = append(rep.Failures, f.assert(merged, rep.ServerDelta)...)
+	rep.Failures = append(rep.Failures, f.assert(merged, rep.ServerDelta, after)...)
 	return rep, nil
 }
 
@@ -583,7 +583,7 @@ func counterDelta(before, after obs.Snapshot) map[string]int64 {
 // exactly once per successful submission, and retried 429s never produce
 // one, so the daemon's cache_hits and jobs_deduped deltas must equal the
 // client-side observations to the unit.
-func (f *fleet) assert(rec *recorder, delta map[string]int64) []string {
+func (f *fleet) assert(rec *recorder, delta map[string]int64, after obs.Snapshot) []string {
 	var fail []string
 	mix := f.cfg.Mix
 
@@ -637,6 +637,23 @@ func (f *fleet) assert(rec *recorder, delta map[string]int64) []string {
 		delta["submits_rejected_429"] + delta["submits_rejected_badspec"] + delta["submits_rejected_draining"]
 	if got := delta["submits_total"]; got != accounted {
 		fail = append(fail, fmt.Sprintf("cross-check: daemon took %d submissions but accounted for %d", got, accounted))
+	}
+	// Fleet reconciliation, active whenever the daemon is a coordinator
+	// (its counters register at zero on boot). Folding must balance to the
+	// replication: a hedged dispatch that double-folds its losing duplicate,
+	// or a local degradation run racing a late worker result past the
+	// duplicate discard, shows up here as folded != expected.
+	if _, isFleet := after.Counters["cluster_reps_expected"]; isFleet {
+		if folded, expected := delta["cluster_reps_folded"], delta["cluster_reps_expected"]; folded != expected {
+			fail = append(fail, fmt.Sprintf("fleet: %d replications folded for %d expected (hedging or degradation double-fold)", folded, expected))
+		}
+		if hedges, wins := after.Counters["chaos_hedges_total"], after.Counters["hedge_wins"]; wins > hedges {
+			fail = append(fail, fmt.Sprintf("fleet: %d hedge wins out of %d hedges launched", wins, hedges))
+		}
+		if got := after.Gauges["fleet_degraded"]; got != 0 {
+			fail = append(fail, fmt.Sprintf("fleet: fleet_degraded gauge is %v at end of run — coordinator never healed (breaker_open_total %d)",
+				got, after.Counters["breaker_open_total"]))
+		}
 	}
 	sort.Strings(fail)
 	return fail

@@ -2,11 +2,17 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"prioritystar/internal/chaosnet"
+	"prioritystar/internal/cluster"
+	"prioritystar/internal/obs"
 	"prioritystar/internal/serve"
 )
 
@@ -111,6 +117,120 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(fails, "\n"), "throughput") {
 		t.Errorf("doctored gate failures never mention throughput: %v", fails)
+	}
+}
+
+// TestLoadPartitionStorm drives sustained submissions through a
+// coordinator whose two workers sit behind chaos proxies, cuts both links
+// mid-run, and heals them before the end. The run must stay clean under
+// the harness's own reconciliation: every job completes (local degradation
+// picks up the partitioned middle), breakers visibly opened, replication
+// folding balances exactly (no hedge or degradation double-fold), and the
+// coordinator is un-degraded by the time the run ends.
+func TestLoadPartitionStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition storm needs a few seconds of sustained load")
+	}
+	metrics := &obs.MetricSet{}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Heartbeat: 200 * time.Millisecond, LeaseTTL: 30 * time.Second,
+		DegradeAfter: 500 * time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: time.Second,
+		Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	s, err := serve.New(serve.Config{
+		Addr: "127.0.0.1:0", Workers: 4, QueueCap: 16, SlotsPerJob: 1,
+		Metrics: metrics, RunJob: coord.RunJob, Degraded: coord.Degraded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Mount(s)
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("daemon shutdown: %v", err)
+		}
+	}()
+
+	proxies := make([]*chaosnet.Proxy, 2)
+	for i := range proxies {
+		w := cluster.NewWorker(cluster.WorkerConfig{Slots: 2, SlotsPerSubjob: 1})
+		mux := http.NewServeMux()
+		w.Mount(mux)
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		proxy, err := chaosnet.NewProxy(strings.TrimPrefix(srv.URL, "http://"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(proxy.Close)
+		proxies[i] = proxy
+		agent := cluster.StartAgent(cluster.AgentConfig{
+			Coordinator: addr, Advertise: proxy.Addr(),
+			Name: fmt.Sprintf("storm-w%d", i), Slots: 2, Depth: w.Depth,
+		})
+		t.Cleanup(agent.Stop)
+	}
+
+	// Cut both links a second into the run; heal with enough runway left
+	// (breaker cooldown + probe) for the fleet to take traffic again.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-time.After(1 * time.Second):
+		case <-stop:
+			return
+		}
+		for _, p := range proxies {
+			p.Partition()
+		}
+		select {
+		case <-time.After(1500 * time.Millisecond):
+		case <-stop:
+			return
+		}
+		for _, p := range proxies {
+			p.Heal()
+		}
+	}()
+
+	mix, err := ParseMix("miss=3,watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), Config{
+		Addr:     addr,
+		Clients:  40,
+		Duration: 5 * time.Second,
+		Mix:      mix,
+		Seed:     77,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("report failure: %s", f)
+	}
+	if rep.ServerDelta["breaker_open_total"] < 1 {
+		t.Error("partition never opened a breaker")
+	}
+	if rep.ServerDelta["subjobs_local"] < 1 {
+		t.Error("partitioned fleet never degraded to local execution")
+	}
+	if rec := rep.Record; rec.ErrorRate > 0 {
+		t.Errorf("jobs failed through the storm: error rate %v", rec.ErrorRate)
 	}
 }
 

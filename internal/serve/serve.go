@@ -101,6 +101,13 @@ type Config struct {
 	// crash recovery keeps working. It must be deterministic: the returned
 	// Result must encode to the same bytes Run would produce.
 	RunJob func(*sweep.Experiment) (*sweep.Result, error)
+	// Degraded, when non-nil, reports that the execution engine is in a
+	// degraded state (the cluster coordinator running sub-jobs locally
+	// because no worker is reachable). /healthz answers "degraded" instead
+	// of "ok" — still 200, because the daemon is alive and completing jobs;
+	// an operator's alerting keys on the body, a load balancer keeps
+	// routing.
+	Degraded func() bool
 	// Metrics receives the daemon's counters and gauges; a fresh set is
 	// allocated when nil.
 	Metrics *obs.MetricSet
@@ -196,6 +203,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.cfg.Degraded != nil && s.cfg.Degraded() {
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
